@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the transactional indexes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_core::{Engine, EngineConfig, NodeId};
+use farm_index::{BTree, HashTable};
+use farm_kernel::ClusterConfig;
+
+fn bench_index(c: &mut Criterion) {
+    let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::default());
+    let node = engine.node(NodeId(0));
+    let table = HashTable::create(&engine, NodeId(0), 64).unwrap();
+    let tree = BTree::create(&engine, NodeId(0));
+    {
+        let mut tx = node.begin();
+        for k in 0..200u64 {
+            table.put(&mut tx, &k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+            tree.put(&mut tx, k, &k.to_le_bytes()).unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    let mut group = c.benchmark_group("index");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("hashtable_get", |b| {
+        b.iter(|| {
+            let mut tx = node.begin();
+            table.get(&mut tx, &77u64.to_be_bytes()).unwrap();
+            tx.commit().unwrap()
+        })
+    });
+    group.bench_function("btree_get", |b| {
+        b.iter(|| {
+            let mut tx = node.begin();
+            tree.get(&mut tx, 77).unwrap();
+            tx.commit().unwrap()
+        })
+    });
+    group.bench_function("btree_scan_20", |b| {
+        b.iter(|| {
+            let mut tx = node.begin();
+            tree.scan(&mut tx, 50, 20).unwrap();
+            tx.commit().unwrap()
+        })
+    });
+    group.finish();
+    engine.shutdown();
+    engine.cluster().shutdown();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

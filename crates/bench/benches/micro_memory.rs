@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the memory subsystem: slab allocation and
+//! old-version allocation/GC.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_memory::{OldVersion, OldVersionStore, Slab, ThreadOldAllocator};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("slab_alloc_free", |b| {
+        let slab = Slab::new(64, 1024);
+        b.iter(|| {
+            let s = slab.allocate().unwrap();
+            slab.free(s).unwrap();
+        })
+    });
+    group.bench_function("old_version_alloc", |b| {
+        let store = Arc::new(OldVersionStore::new(1 << 20, 64 << 20));
+        let mut alloc = ThreadOldAllocator::new(Arc::clone(&store));
+        let payload = Bytes::from(vec![0u8; 128]);
+        b.iter(|| {
+            alloc
+                .allocate(OldVersion { ts: 1, ovp: None, data: payload.clone() })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

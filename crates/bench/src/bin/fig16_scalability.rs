@@ -1,0 +1,34 @@
+//! Figure 16: TPC-C throughput and mean uncertainty wait as the cluster
+//! grows (the clock-master sync rate is fixed in aggregate, so per-node
+//! synchronization becomes less frequent with more machines).
+
+use farm_bench::{bench_duration, run_tpcc, small_tpcc};
+use farm_core::{Engine, EngineConfig, TxOptions};
+use farm_workloads::TpccDatabase;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let duration = bench_duration(1.5);
+    println!("nodes,neworders_per_s,mean_uncertainty_wait_us");
+    for nodes in [3usize, 4, 6, 8] {
+        let mut cluster_cfg = farm_bench::bench_cluster(nodes);
+        // Fixed aggregate synchronization rate: per-node interval grows with
+        // the cluster size (200k/s aggregate in the paper).
+        cluster_cfg.control_interval = Duration::from_micros(250 * nodes as u64);
+        let engine = Engine::start_cluster(cluster_cfg, EngineConfig::default());
+        let db = Arc::new(TpccDatabase::load(&engine, small_tpcc()).expect("load"));
+        let r = run_tpcc(&engine, &db, 2 * nodes, duration, TxOptions::serializable());
+        // Mean uncertainty wait across all nodes' clocks.
+        let mean_wait_us: f64 = engine
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.clock().stats().mean_wait_ns() / 1_000.0)
+            .sum::<f64>()
+            / nodes as f64;
+        println!("{nodes},{:.0},{:.2}", r.throughput, mean_wait_us);
+        engine.shutdown();
+        engine.cluster().shutdown();
+    }
+}

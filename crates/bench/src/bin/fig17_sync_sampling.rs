@@ -1,0 +1,30 @@
+//! Figure 17: mean uncertainty wait as a function of the synchronization
+//! down-sampling ratio (emulating clusters 1×..10× larger at a fixed
+//! aggregate clock-sync rate).
+
+use farm_bench::{bench_duration, run_tpcc, small_tpcc};
+use farm_core::{Engine, EngineConfig, TxOptions};
+use farm_workloads::TpccDatabase;
+use std::sync::Arc;
+
+fn main() {
+    let duration = bench_duration(1.0);
+    println!("sampling_ratio,mean_uncertainty_wait_us,neworders_per_s");
+    for ratio in [1u32, 2, 4, 6, 8, 10] {
+        let mut cluster_cfg = farm_bench::bench_cluster(3);
+        cluster_cfg.sync_sampling_ratio = ratio;
+        let engine = Engine::start_cluster(cluster_cfg, EngineConfig::default());
+        let db = Arc::new(TpccDatabase::load(&engine, small_tpcc()).expect("load"));
+        let r = run_tpcc(&engine, &db, 6, duration, TxOptions::serializable());
+        let mean_wait_us: f64 = engine
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.clock().stats().mean_wait_ns() / 1_000.0)
+            .sum::<f64>()
+            / 3.0;
+        println!("{ratio},{:.2},{:.0}", mean_wait_us, r.throughput);
+        engine.shutdown();
+        engine.cluster().shutdown();
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 18: throughput over time (1 ms buckets) across a failure of the
+//! CM plus one non-CM, annotated with the suspicion / clock-disable /
+//! clock-enable instants.
+
+use farm_bench::small_tpcc;
+use farm_core::{Engine, EngineConfig, NodeId, TxOptions};
+use farm_kernel::EventKind;
+use farm_workloads::{TpccDatabase, TpccOutcome, TpccTxKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut cluster_cfg = farm_bench::bench_cluster(5);
+    cluster_cfg.lease_expiry = Duration::from_millis(10);
+    let engine = Engine::start_cluster(cluster_cfg, EngineConfig::default());
+    let db = Arc::new(TpccDatabase::load(&engine, small_tpcc()).expect("load"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..6u32 {
+        let (db, stop, committed) = (Arc::clone(&db), Arc::clone(&stop), Arc::clone(&committed));
+        handles.push(std::thread::spawn(move || {
+            let node = NodeId(2 + t % 3);
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(TpccOutcome::Committed(_)) =
+                    db.execute(node, TpccTxKind::sample(&mut rng), TxOptions::serializable(), &mut rng)
+                {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let start = Instant::now();
+    let mut samples = Vec::new();
+    let mut killed = false;
+    while start.elapsed() < Duration::from_millis(300) {
+        let c0 = committed.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(1));
+        let c1 = committed.load(Ordering::Relaxed);
+        samples.push((start.elapsed().as_secs_f64() * 1_000.0, (c1 - c0) as f64 / 0.001));
+        if !killed && start.elapsed() > Duration::from_millis(50) {
+            engine.cluster().events().clear();
+            engine.cluster().kill(NodeId(0));
+            engine.cluster().kill(NodeId(1));
+            killed = true;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    println!("time_ms,txns_per_s");
+    for (t, rate) in samples {
+        println!("{t:.1},{rate:.0}");
+    }
+    println!("# events:");
+    for e in engine.cluster().events().snapshot() {
+        if matches!(
+            e.kind,
+            EventKind::Suspected(_) | EventKind::ClockDisabled | EventKind::ClockEnabled { .. } | EventKind::ConfigCommitted { .. }
+        ) {
+            println!("# {:?}", e.kind);
+        }
+    }
+    engine.shutdown();
+    engine.cluster().shutdown();
+}

@@ -1,0 +1,24 @@
+//! Section 5.6: operation logging. Compares the default configuration
+//! (3-way data replication, strict serializability) with the NAM-DB-like
+//! configuration: operation logging, multi-versioning, non-strict snapshot
+//! isolation.
+
+use farm_bench::{bench_duration, run_tpcc, small_tpcc, tpcc_setup};
+use farm_core::{EngineConfig, TxOptions};
+
+fn main() {
+    let duration = bench_duration(2.0);
+    println!("configuration,neworders_per_s");
+    let (engine, db) = tpcc_setup(3, EngineConfig::default(), small_tpcc());
+    let r = run_tpcc(&engine, &db, 6, duration, TxOptions::serializable());
+    println!("replicated-data strict-serializable,{:.0}", r.throughput);
+    engine.shutdown();
+    engine.cluster().shutdown();
+
+    let oplog_cfg = EngineConfig { operation_logging: true, ..EngineConfig::multi_version() };
+    let (engine, db) = tpcc_setup(3, oplog_cfg, small_tpcc());
+    let r = run_tpcc(&engine, &db, 6, duration, TxOptions::snapshot_isolation_non_strict());
+    println!("operation-logging non-strict SI,{:.0}", r.throughput);
+    engine.shutdown();
+    engine.cluster().shutdown();
+}

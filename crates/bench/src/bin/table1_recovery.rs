@@ -1,0 +1,103 @@
+//! Table 1: recovery statistics — clock disable time, throughput recovery
+//! time, and re-replication time — for three failure cases: a non-CM, the
+//! CM, and the CM plus a non-CM simultaneously.
+
+use farm_bench::{bench_duration, small_tpcc};
+use farm_core::{Engine, EngineConfig, NodeId, TxOptions};
+use farm_kernel::EventKind;
+use farm_workloads::{TpccDatabase, TpccOutcome, TpccTxKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run_case(name: &str, kill: &[u32]) {
+    let mut cluster_cfg = farm_bench::bench_cluster(5);
+    cluster_cfg.lease_expiry = Duration::from_millis(10);
+    cluster_cfg.rereplication_pace = Duration::from_millis(5);
+    let engine = Engine::start_cluster(cluster_cfg, EngineConfig::default());
+    let db = Arc::new(TpccDatabase::load(&engine, small_tpcc()).expect("load"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    // Background load from the three surviving nodes (2, 3, 4).
+    let mut handles = Vec::new();
+    for t in 0..6u32 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        handles.push(std::thread::spawn(move || {
+            let node = NodeId(2 + t % 3);
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(TpccOutcome::Committed(_)) =
+                    db.execute(node, TpccTxKind::sample(&mut rng), TxOptions::serializable(), &mut rng)
+                {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    std::thread::sleep(bench_duration(0.5));
+    // Pre-failure throughput over 200 ms.
+    let before_count = committed.load(Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(200));
+    let pre_rate = (committed.load(Ordering::Relaxed) - before_count) as f64 / 0.2;
+    engine.cluster().events().clear();
+    let fail_at = Instant::now();
+    for &k in kill {
+        engine.cluster().kill(NodeId(k));
+    }
+    // Wait for recovery: throughput back to >= pre_rate over a 100 ms window.
+    let recovery_time;
+    loop {
+        let c0 = committed.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(100));
+        let rate = (committed.load(Ordering::Relaxed) - c0) as f64 / 0.1;
+        if rate >= pre_rate * 0.95 {
+            recovery_time = fail_at.elapsed();
+            break;
+        }
+        if fail_at.elapsed() > Duration::from_secs(10) {
+            recovery_time = fail_at.elapsed();
+            break;
+        }
+    }
+    // Wait for re-replication to complete.
+    let rerep_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let events = engine.cluster().events().snapshot();
+        if events.iter().any(|e| matches!(e.kind, EventKind::RereplicationComplete)) || Instant::now() > rerep_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let events = engine.cluster().events();
+    let clock_disable = events
+        .span(|k| matches!(k, EventKind::ClockDisabled), |k| matches!(k, EventKind::ClockEnabled { .. }))
+        .map(|d| d.as_secs_f64() * 1_000.0)
+        .unwrap_or(0.0);
+    let rerep = events
+        .span(|k| matches!(k, EventKind::Suspected(_)), |k| matches!(k, EventKind::RereplicationComplete))
+        .map(|d| d.as_secs_f64() * 1_000.0)
+        .unwrap_or(0.0);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    println!(
+        "{name},{:.1},{:.0},{:.0}",
+        clock_disable,
+        recovery_time.as_secs_f64() * 1_000.0,
+        rerep
+    );
+    engine.shutdown();
+    engine.cluster().shutdown();
+}
+
+fn main() {
+    println!("failure,clock_disable_ms,recovery_ms,rereplication_ms");
+    run_case("1 non-CM", &[2]);
+    run_case("CM", &[0]);
+    run_case("CM and 1 non-CM", &[0, 2]);
+}

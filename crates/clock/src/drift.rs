@@ -1,0 +1,158 @@
+//! Continuous clock-rate monitoring.
+//!
+//! Correctness of the timestamp mechanism requires the relative drift
+//! between any clock and the clock master to stay within the assumed bound ε
+//! (1000 ppm in the paper). FaRMv2 continuously estimates each non-CM's rate
+//! relative to the CM from consecutive synchronizations and reports any
+//! machine whose observed drift exceeds a *much* more conservative threshold
+//! (200 ppm), so the machine (or the CM itself, if it is the outlier) can be
+//! removed long before correctness is at risk.
+
+use crate::sync::SyncSample;
+
+/// Result of a drift evaluation between two synchronizations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Estimated relative rate error in parts per million
+    /// (positive = the local clock runs fast relative to the master).
+    pub estimated_ppm: f64,
+    /// Whether the estimate exceeds the reporting threshold.
+    pub exceeds_threshold: bool,
+    /// Master-time span the estimate was computed over, in nanoseconds.
+    pub span_ns: u64,
+}
+
+/// Estimates the local clock's rate relative to the clock master from pairs
+/// of synchronization samples.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    threshold_ppm: f64,
+    /// Minimum master-time span between the two samples used for an
+    /// estimate; short spans make the RTT-induced noise dominate.
+    min_span_ns: u64,
+    last: Option<SyncSample>,
+    /// Most recent report, if any.
+    last_report: Option<DriftReport>,
+    /// Number of reports that exceeded the threshold.
+    violations: u64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor with the paper's defaults: report above 200 ppm,
+    /// require at least 100 ms between the samples used for an estimate.
+    pub fn new() -> Self {
+        Self::with_params(200.0, 100_000_000)
+    }
+
+    /// Creates a monitor with explicit threshold (ppm) and minimum span (ns).
+    pub fn with_params(threshold_ppm: f64, min_span_ns: u64) -> Self {
+        DriftMonitor { threshold_ppm, min_span_ns, last: None, last_report: None, violations: 0 }
+    }
+
+    /// Feeds one completed synchronization. Returns a report when enough
+    /// master time has elapsed since the previous retained sample.
+    pub fn observe(&mut self, sample: SyncSample) -> Option<DriftReport> {
+        let prev = match self.last {
+            None => {
+                self.last = Some(sample);
+                return None;
+            }
+            Some(p) => p,
+        };
+        let span = sample.t_cm.saturating_sub(prev.t_cm);
+        if span < self.min_span_ns {
+            return None;
+        }
+        // Use the midpoint of [send, recv] as the local time of the master
+        // reading; the error introduced is at most half the RTT on each end.
+        let local_prev = midpoint(prev);
+        let local_cur = midpoint(sample);
+        let local_span = local_cur.saturating_sub(local_prev);
+        if local_span == 0 {
+            return None;
+        }
+        let rate = local_span as f64 / span as f64;
+        let ppm = (rate - 1.0) * 1e6;
+        let report = DriftReport {
+            estimated_ppm: ppm,
+            exceeds_threshold: ppm.abs() > self.threshold_ppm,
+            span_ns: span,
+        };
+        if report.exceeds_threshold {
+            self.violations += 1;
+        }
+        self.last = Some(sample);
+        self.last_report = Some(report);
+        Some(report)
+    }
+
+    /// Most recent report, if any.
+    pub fn last_report(&self) -> Option<DriftReport> {
+        self.last_report
+    }
+
+    /// Number of threshold violations observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn midpoint(s: SyncSample) -> u64 {
+    s.t_send + (s.t_recv - s.t_send) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(local_mid: u64, cm: u64, rtt: u64) -> SyncSample {
+        SyncSample { t_send: local_mid - rtt / 2, t_cm: cm, t_recv: local_mid + rtt / 2 }
+    }
+
+    #[test]
+    fn no_report_until_two_spaced_samples() {
+        let mut m = DriftMonitor::with_params(200.0, 1_000_000);
+        assert!(m.observe(sample(1_000, 1_000, 100)).is_none());
+        // Too close in master time.
+        assert!(m.observe(sample(2_000, 2_000, 100)).is_none());
+        // Far enough.
+        assert!(m.observe(sample(2_001_000, 2_001_000, 100)).is_some());
+    }
+
+    #[test]
+    fn detects_fast_clock() {
+        let mut m = DriftMonitor::with_params(200.0, 1_000_000);
+        m.observe(sample(0, 0, 0));
+        // Local advanced 1.001e9 while master advanced 1e9 => +1000 ppm.
+        let r = m.observe(sample(1_001_000_000, 1_000_000_000, 0)).unwrap();
+        assert!(r.exceeds_threshold);
+        assert!((r.estimated_ppm - 1_000.0).abs() < 50.0);
+        assert_eq!(m.violations(), 1);
+    }
+
+    #[test]
+    fn detects_slow_clock() {
+        let mut m = DriftMonitor::with_params(200.0, 1_000_000);
+        m.observe(sample(1_000, 0, 0));
+        let r = m.observe(sample(999_001_000, 1_000_000_000, 0)).unwrap();
+        assert!(r.estimated_ppm < 0.0);
+        assert!(r.exceeds_threshold);
+    }
+
+    #[test]
+    fn small_drift_is_not_reported() {
+        let mut m = DriftMonitor::with_params(200.0, 1_000_000);
+        m.observe(sample(0, 0, 0));
+        // +50 ppm.
+        let r = m.observe(sample(1_000_050_000, 1_000_000_000, 0)).unwrap();
+        assert!(!r.exceeds_threshold);
+        assert_eq!(m.violations(), 0);
+        assert_eq!(m.last_report().unwrap(), r);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the global-time subsystem.
+//!
+//! These exercise the correctness assumptions of Section 4.1: the computed
+//! interval always contains the true master time, intervals shrink (never
+//! grow) when better synchronizations arrive, and uncertainty waits produce
+//! timestamps that respect happens-before.
+
+use std::sync::Arc;
+
+use farm_clock::{
+    Clock, ClockConfig, DriftClock, ManualClock, NodeClock, SharedClock, SyncSample, Synchronizer,
+};
+use proptest::prelude::*;
+
+const EPS_PPM: u32 = 1_000;
+
+/// Builds a (master clock, slave clock) pair over a shared manual base where
+/// the slave has the given drift (must be within ±EPS_PPM) and offset.
+fn clock_pair(offset: u64, drift_ppm: i32) -> (Arc<ManualClock>, SharedClock, SharedClock) {
+    let base = Arc::new(ManualClock::new(1));
+    let master: SharedClock = Arc::new(DriftClock::new(base.clone(), 0, 0));
+    let slave: SharedClock = Arc::new(DriftClock::new(base.clone(), offset, drift_ppm));
+    (base, master, slave)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any sequence of synchronizations and arbitrary elapsed time, the
+    /// interval computed on the slave always contains the master's true time.
+    #[test]
+    fn interval_always_contains_master_time(
+        offset in 0u64..1_000_000,
+        drift_ppm in -900i32..900,
+        // (advance before sync, rtt, advance after sync) triples
+        steps in prop::collection::vec((1u64..50_000, 1u64..20_000, 1u64..200_000), 1..20),
+    ) {
+        let (base, master, slave) = clock_pair(offset, drift_ppm);
+        let mut sync = Synchronizer::new(EPS_PPM, 0);
+        for (pre, rtt, post) in steps {
+            base.advance(pre);
+            let t_send = slave.now_ns();
+            base.advance(rtt / 2);
+            let t_cm = master.now_ns();
+            base.advance(rtt - rtt / 2);
+            let t_recv = slave.now_ns();
+            sync.record(SyncSample { t_send, t_cm, t_recv }, t_recv);
+            base.advance(post);
+            let interval = sync.time(slave.now_ns()).unwrap();
+            let true_master = master.now_ns();
+            prop_assert!(interval.lower <= true_master,
+                "lower bound {} exceeds master time {}", interval.lower, true_master);
+            prop_assert!(interval.upper >= true_master,
+                "upper bound {} below master time {}", interval.upper, true_master);
+        }
+    }
+
+    /// Recording an extra synchronization never widens the interval computed
+    /// at the moment the new sample is recorded.
+    #[test]
+    fn extra_sync_never_widens_interval(
+        offset in 0u64..1_000_000,
+        drift_ppm in -900i32..900,
+        rtt1 in 1u64..100_000,
+        rtt2 in 1u64..100_000,
+        gap in 1u64..1_000_000,
+    ) {
+        let (base, master, slave) = clock_pair(offset, drift_ppm);
+        let mut sync = Synchronizer::new(EPS_PPM, 0);
+
+        let t_send = slave.now_ns();
+        base.advance(rtt1 / 2);
+        let t_cm = master.now_ns();
+        base.advance(rtt1 - rtt1 / 2);
+        let t_recv = slave.now_ns();
+        sync.record(SyncSample { t_send, t_cm, t_recv }, t_recv);
+
+        base.advance(gap);
+
+        // Take the second sample; compare the interval computed with and
+        // without it at the same local instant (t_recv of the second sample).
+        let t_send = slave.now_ns();
+        base.advance(rtt2 / 2);
+        let t_cm = master.now_ns();
+        base.advance(rtt2 - rtt2 / 2);
+        let t_recv = slave.now_ns();
+
+        let without = sync.clone();
+        sync.record(SyncSample { t_send, t_cm, t_recv }, t_recv);
+
+        let before = without.time(t_recv).unwrap();
+        let after = sync.time(t_recv).unwrap();
+        prop_assert!(after.uncertainty() <= before.uncertainty(),
+            "extra sample widened interval: {} -> {}", before.uncertainty(), after.uncertainty());
+        // Bounds individually only ever improve.
+        prop_assert!(after.lower >= before.lower);
+        prop_assert!(after.upper <= before.upper);
+    }
+
+    /// Strict timestamps issued by a master node are monotone with respect to
+    /// the order in which they are issued (single node, manual clock).
+    #[test]
+    fn master_strict_timestamps_are_monotone(advances in prop::collection::vec(0u64..10_000, 1..50)) {
+        let base = Arc::new(ManualClock::new(1));
+        let shared: SharedClock = base.clone();
+        let node = NodeClock::new_master(shared, ClockConfig {
+            drift_bound_ppm: EPS_PPM, thread_skew_ns: 0, spin_threshold_ns: 1_000_000,
+        });
+        let mut prev = 0u64;
+        for adv in advances {
+            base.advance(adv);
+            let (ts, _) = node.get_ts(farm_clock::TsMode::StrictWait);
+            prop_assert!(ts.as_nanos() >= prev);
+            prev = ts.as_nanos();
+        }
+    }
+
+    /// The non-strict read timestamp is always <= the strict timestamp that
+    /// would be issued at the same moment (it takes L rather than U).
+    #[test]
+    fn non_strict_read_is_not_ahead_of_interval(
+        offset in 0u64..100_000,
+        drift_ppm in -900i32..900,
+        rtt in 1u64..50_000,
+        gap in 0u64..500_000,
+    ) {
+        let (base, master, slave_clock) = clock_pair(offset, drift_ppm);
+        let node = NodeClock::new_slave(slave_clock.clone(), ClockConfig {
+            drift_bound_ppm: EPS_PPM, thread_skew_ns: 0, spin_threshold_ns: 1_000_000,
+        });
+        let t_send = slave_clock.now_ns();
+        base.advance(rtt / 2);
+        let t_cm = master.now_ns();
+        base.advance(rtt - rtt / 2);
+        let t_recv = slave_clock.now_ns();
+        node.record_sync(SyncSample { t_send, t_cm, t_recv });
+        base.advance(gap);
+        let (read_ts, waited) = node.get_ts(farm_clock::TsMode::NonStrictRead);
+        prop_assert_eq!(waited, 0);
+        // The non-strict read timestamp never exceeds the true master time:
+        // it must not read a snapshot from the future.
+        prop_assert!(read_ts.as_nanos() <= master.now_ns());
+    }
+}

@@ -1,0 +1,356 @@
+//! Engine assembly: the cluster-wide [`Engine`] and per-machine
+//! [`NodeEngine`] handles.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use farm_kernel::{Cluster, NodeHandle, RecoveryHooks};
+use farm_memory::{Addr, Region, RegionId, ThreadOldAllocator};
+use farm_net::{LatencyModel, NodeId, OneSidedMeter};
+use parking_lot::Mutex;
+
+use crate::error::{AbortReason, TxError};
+use crate::opts::{EngineConfig, TxOptions};
+use crate::stats::{EngineStats, EngineStatsSnapshot};
+use crate::tx::Transaction;
+
+/// A record appended to replicated in-memory operation logs when the engine
+/// runs in operation-logging mode (Section 5.6).
+#[derive(Debug, Clone)]
+pub struct OpLogRecord {
+    /// Coordinator node.
+    pub coordinator: NodeId,
+    /// Write timestamp of the committed transaction.
+    pub write_ts: u64,
+    /// Addresses written (the "transaction description and inputs").
+    pub writes: Vec<Addr>,
+}
+
+/// The shared map of active transactions on one node: serial → read
+/// timestamp. The minimum read timestamp feeds the OAT computation.
+pub(crate) type ActiveMap = Arc<Mutex<BTreeMap<u64, u64>>>;
+
+/// The per-machine transaction engine. Application threads whose home is this
+/// machine obtain transactions here; the thread then acts as the coordinator
+/// for the distributed commit, exactly as in FaRM's symmetric model.
+pub struct NodeEngine {
+    id: NodeId,
+    cluster: Arc<Cluster>,
+    handle: Arc<NodeHandle>,
+    config: EngineConfig,
+    pub(crate) meter: OneSidedMeter,
+    /// One old-version allocator per primary this coordinator has written
+    /// through (stands in for the primary-side thread that allocates old
+    /// versions while processing LOCK messages).
+    pub(crate) old_alloc: Mutex<HashMap<NodeId, ThreadOldAllocator>>,
+    pub(crate) active: ActiveMap,
+    next_serial: AtomicU64,
+    pub(crate) stats: EngineStats,
+    /// Operation log kept at this node when operation logging is enabled
+    /// (this node acting as a log replica).
+    pub(crate) op_log: Mutex<Vec<OpLogRecord>>,
+    alive: AtomicBool,
+}
+
+impl NodeEngine {
+    fn new(cluster: Arc<Cluster>, id: NodeId, config: EngineConfig) -> Arc<Self> {
+        let handle = Arc::clone(cluster.node(id));
+        let active: ActiveMap = Arc::new(Mutex::new(BTreeMap::new()));
+        // Register the OAT provider: the oldest active local transaction's
+        // read timestamp (Figure 9).
+        let active_for_oat = Arc::clone(&active);
+        handle.set_oat_provider(Arc::new(move || {
+            active_for_oat.lock().values().min().copied()
+        }));
+        let meter = OneSidedMeter::new(Arc::clone(handle.stats()), LatencyModel::zero());
+        let old_alloc = Mutex::new(HashMap::new());
+        Arc::new(NodeEngine {
+            id,
+            cluster,
+            handle,
+            config,
+            meter,
+            old_alloc,
+            active,
+            next_serial: AtomicU64::new(1),
+            stats: EngineStats::default(),
+            op_log: Mutex::new(Vec::new()),
+            alive: AtomicBool::new(true),
+        })
+    }
+
+    /// This engine's machine id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The kernel-level handle of this machine.
+    pub fn handle(&self) -> &Arc<NodeHandle> {
+        &self.handle
+    }
+
+    /// The cluster this engine runs on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Per-node statistics snapshot.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of operation-log records stored at this node (operation-logging
+    /// mode only).
+    pub fn op_log_len(&self) -> usize {
+        self.op_log.lock().len()
+    }
+
+    /// Whether this node is still alive (not killed by fault injection).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire) && self.handle.is_alive()
+    }
+
+    /// Starts a transaction with default options (strict serializability).
+    pub fn begin(self: &Arc<Self>) -> Transaction {
+        self.begin_with(TxOptions::default())
+    }
+
+    /// Starts a transaction with explicit options.
+    pub fn begin_with(self: &Arc<Self>, opts: TxOptions) -> Transaction {
+        Transaction::start(Arc::clone(self), opts)
+    }
+
+    /// Starts a read-only transaction at an explicit (possibly past) read
+    /// timestamp — a *stale snapshot read*, used by the slave side of
+    /// parallel distributed read-only transactions (Section 4.6). Fails if
+    /// the requested timestamp is below this node's `GC_local`, because old
+    /// versions that old may already have been reclaimed.
+    pub fn begin_stale_readonly(self: &Arc<Self>, read_ts: u64) -> Result<Transaction, TxError> {
+        let gc_local = self.handle.gc_local();
+        if read_ts < gc_local {
+            return Err(TxError::Aborted(AbortReason::SnapshotTooStale {
+                requested: read_ts,
+                gc_local,
+            }));
+        }
+        Ok(Transaction::start_stale(Arc::clone(self), read_ts))
+    }
+
+    /// A region whose primary is this machine, if any — used for
+    /// locality-aware allocation (FaRM exploits locality by co-locating the
+    /// coordinator with the primaries it writes).
+    pub fn home_region(&self) -> Option<RegionId> {
+        self.cluster.primaries_on(self.id).into_iter().next()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers used by the transaction implementation.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn next_serial(&self) -> u64 {
+        self.next_serial.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn register_active(&self, serial: u64, read_ts: u64) {
+        self.active.lock().insert(serial, read_ts);
+    }
+
+    pub(crate) fn unregister_active(&self, serial: u64) {
+        self.active.lock().remove(&serial);
+    }
+
+    /// Resolves the primary replica of the region holding `addr`, along with
+    /// the primary's node id. Fails when the region currently has no
+    /// reachable primary (e.g. immediately after a failure, before
+    /// reconfiguration completes).
+    pub(crate) fn primary_region_of(&self, addr: Addr) -> Result<(NodeId, Arc<Region>), TxError> {
+        let primary = self
+            .cluster
+            .primary_of(addr.region)
+            .ok_or(TxError::Aborted(AbortReason::BadAddress(addr)))?;
+        if !self.cluster.node(primary).is_alive() {
+            return Err(TxError::Aborted(AbortReason::RegionUnavailable(addr)));
+        }
+        Ok((primary, self.cluster.node(primary).regions().ensure(addr.region)))
+    }
+
+    /// Backup replicas of the region holding `addr` (may be empty).
+    pub(crate) fn backups_of(&self, addr: Addr) -> Vec<NodeId> {
+        let replicas = self.cluster.replicas_of(addr.region);
+        match replicas.split_first() {
+            Some((_, rest)) => rest.to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeEngine").field("id", &self.id).finish()
+    }
+}
+
+struct EngineHooks;
+impl RecoveryHooks for EngineHooks {}
+
+/// The cluster-wide engine: one [`NodeEngine`] per machine plus a background
+/// garbage-collection driver that reclaims old-version blocks below each
+/// node's GC safe point.
+pub struct Engine {
+    cluster: Arc<Cluster>,
+    config: EngineConfig,
+    nodes: Vec<Arc<NodeEngine>>,
+    stop: Arc<AtomicBool>,
+    gc_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Builds the engine on an already-started cluster.
+    pub fn start(cluster: Arc<Cluster>, config: EngineConfig) -> Arc<Engine> {
+        let nodes: Vec<Arc<NodeEngine>> = cluster
+            .nodes()
+            .iter()
+            .map(|n| NodeEngine::new(Arc::clone(&cluster), n.id(), config))
+            .collect();
+        cluster.set_recovery_hooks(Arc::new(EngineHooks));
+        let engine = Arc::new(Engine {
+            cluster: Arc::clone(&cluster),
+            config,
+            nodes,
+            stop: Arc::new(AtomicBool::new(false)),
+            gc_thread: Mutex::new(None),
+        });
+        // Background GC driver.
+        let stop = Arc::clone(&engine.stop);
+        let nodes_for_gc: Vec<Arc<NodeEngine>> = engine.nodes.clone();
+        let interval = config.gc_interval;
+        let handle = std::thread::Builder::new()
+            .name("farm-gc".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    for node in &nodes_for_gc {
+                        if node.is_alive() {
+                            let gc = node.handle().gc_safe_point();
+                            if gc > 0 {
+                                node.handle().old_versions().collect(gc);
+                            }
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn GC thread");
+        *engine.gc_thread.lock() = Some(handle);
+        engine
+    }
+
+    /// Convenience: start a fresh cluster with `cluster_cfg` and the engine
+    /// on top of it.
+    pub fn start_cluster(
+        cluster_cfg: farm_kernel::ClusterConfig,
+        config: EngineConfig,
+    ) -> Arc<Engine> {
+        let cluster = Cluster::start(cluster_cfg);
+        Self::start(cluster, config)
+    }
+
+    /// The engine of one machine.
+    pub fn node(&self, id: NodeId) -> Arc<NodeEngine> {
+        Arc::clone(&self.nodes[id.index()])
+    }
+
+    /// All per-machine engines.
+    pub fn nodes(&self) -> &[Arc<NodeEngine>] {
+        &self.nodes
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Aggregated statistics across every machine.
+    pub fn aggregate_stats(&self) -> EngineStatsSnapshot {
+        self.nodes
+            .iter()
+            .map(|n| n.stats())
+            .fold(EngineStatsSnapshot::default(), |acc, s| acc.merged(&s))
+    }
+
+    /// Runs one old-version GC pass on every node immediately.
+    pub fn collect_garbage_now(&self) {
+        for node in &self.nodes {
+            let gc = node.handle().gc_safe_point();
+            if gc > 0 {
+                node.handle().old_versions().collect(gc);
+            }
+        }
+    }
+
+    /// Stops the background GC thread (the cluster keeps running).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.gc_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.gc_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.nodes.len())
+            .field("mode", &self.config.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_kernel::ClusterConfig;
+
+    #[test]
+    fn engine_starts_on_cluster_and_reports_stats() {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::default());
+        assert_eq!(engine.nodes().len(), 3);
+        let stats = engine.aggregate_stats();
+        assert_eq!(stats.commits(), 0);
+        assert!(engine.node(NodeId(1)).home_region().is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stale_readonly_below_gc_local_is_rejected() {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        // Drive some control rounds so GC_local advances well past 1 ns.
+        for _ in 0..4 {
+            engine.cluster().control_round();
+        }
+        let node = engine.node(NodeId(1));
+        let err = node.begin_stale_readonly(1).unwrap_err();
+        assert!(matches!(err, TxError::Aborted(AbortReason::SnapshotTooStale { .. })));
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,118 @@
+//! Transaction errors and abort reasons.
+
+use farm_memory::Addr;
+
+/// Why a transaction aborted. The distinction matters for the evaluation:
+/// Figure 15 separates aborts caused by old-version unavailability from
+/// conflict aborts, and Section 4.7 discusses "early aborts" after failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A read observed a locked object (conflicting writer in its commit
+    /// phase).
+    ReadLockedObject(Addr),
+    /// A read needed an old version that is not available (evicted by GC,
+    /// truncated by the MV-TRUNCATE policy, or lost when a backup was
+    /// promoted to primary — the paper's "early aborts").
+    OldVersionUnavailable(Addr),
+    /// Eager validation: a serializable read-write transaction read an old
+    /// version and would necessarily fail validation later (Section 4.7).
+    EagerValidation(Addr),
+    /// The LOCK phase failed: an object was locked by another transaction or
+    /// its version changed since it was read.
+    LockConflict(Addr),
+    /// Read validation failed: an object read by the transaction was locked
+    /// or modified before the write timestamp.
+    ValidationFailed(Addr),
+    /// Old-version memory was exhausted and the MV-ABORT policy is in effect.
+    OldVersionMemoryExhausted,
+    /// A stale snapshot read was requested below the local GC safe point
+    /// (slave transactions of a parallel distributed query, Section 4.6).
+    SnapshotTooStale {
+        /// The requested read timestamp.
+        requested: u64,
+        /// The node's current `GC_local`.
+        gc_local: u64,
+    },
+    /// The object address did not resolve (freed and its slab reused, or the
+    /// region's primary is currently unavailable).
+    BadAddress(Addr),
+    /// The transaction was asked to write, but the engine is in read-only
+    /// (recovering) state for the affected region.
+    RegionUnavailable(Addr),
+    /// The coordinator's node was killed.
+    CoordinatorDead,
+    /// Explicit abort requested by the application.
+    UserRequested,
+}
+
+/// Error type returned by transaction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction aborted (or must abort) for the given reason. The
+    /// guarantees of opacity hold for the reads performed so far: they came
+    /// from a consistent snapshot.
+    Aborted(AbortReason),
+    /// The operation is invalid in the transaction's current state (e.g.
+    /// writing in a read-only transaction).
+    InvalidOperation(&'static str),
+    /// Allocation failed (out of memory in the target region).
+    AllocationFailed,
+}
+
+impl TxError {
+    /// Convenience predicate: is this a conflict-style abort that the
+    /// application would normally retry?
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TxError::Aborted(
+                AbortReason::ReadLockedObject(_)
+                    | AbortReason::LockConflict(_)
+                    | AbortReason::ValidationFailed(_)
+                    | AbortReason::OldVersionUnavailable(_)
+                    | AbortReason::EagerValidation(_)
+                    | AbortReason::OldVersionMemoryExhausted
+            )
+        )
+    }
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Aborted(r) => write!(f, "transaction aborted: {r:?}"),
+            TxError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            TxError::AllocationFailed => write!(f, "allocation failed"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_memory::RegionId;
+
+    fn addr() -> Addr {
+        Addr { region: RegionId(0), slab: 0, slot: 0 }
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(TxError::Aborted(AbortReason::LockConflict(addr())).is_retryable());
+        assert!(TxError::Aborted(AbortReason::ValidationFailed(addr())).is_retryable());
+        assert!(TxError::Aborted(AbortReason::OldVersionUnavailable(addr())).is_retryable());
+        assert!(!TxError::Aborted(AbortReason::UserRequested).is_retryable());
+        assert!(!TxError::InvalidOperation("x").is_retryable());
+        assert!(!TxError::AllocationFailed.is_retryable());
+    }
+
+    #[test]
+    fn errors_format() {
+        let e = TxError::Aborted(AbortReason::CoordinatorDead);
+        assert!(format!("{e}").contains("aborted"));
+        let e = TxError::InvalidOperation("write in read-only tx");
+        assert!(format!("{e}").contains("read-only"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Engine and per-transaction configuration.
+
+/// Isolation level of a transaction. FaRMv2 supports strict serializability
+/// (the default) and snapshot isolation; it deliberately supports nothing
+/// weaker (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// Serializable: reads are validated at commit so the snapshot is still
+    /// current at the write timestamp.
+    Serializable,
+    /// Snapshot isolation: validation is skipped (consistent snapshots are
+    /// already provided during execution) and the write-timestamp uncertainty
+    /// wait overlaps replication.
+    SnapshotIsolation,
+}
+
+/// Policy applied when old-version memory is exhausted during the LOCK phase
+/// (Section 5.3 / Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvPolicy {
+    /// Block the writer until old-version memory becomes available.
+    Block,
+    /// Abort the writer.
+    Abort,
+    /// Let the writer proceed without allocating the old version, truncating
+    /// the object's history (readers needing it will abort).
+    Truncate,
+}
+
+/// Which engine variant executes transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// FaRMv2: opacity via global-time read/write timestamps.
+    FarmV2 {
+        /// Whether old versions are maintained (multi-version mode) or not
+        /// (single-version mode, the default for TPC-C in the paper).
+        multi_version: bool,
+        /// Policy when old-version memory runs out (only relevant with
+        /// `multi_version`).
+        mv_policy: MvPolicy,
+    },
+    /// BASELINE: an optimized FaRMv1 — per-object version OCC without read
+    /// snapshots, timestamps or uncertainty waits; every read (including by
+    /// read-only transactions) is validated at commit.
+    Baseline,
+}
+
+impl EngineMode {
+    /// FaRMv2 in single-version mode (the paper's default for TPC-C).
+    pub fn farmv2_single_version() -> Self {
+        EngineMode::FarmV2 { multi_version: false, mv_policy: MvPolicy::Truncate }
+    }
+
+    /// FaRMv2 in multi-version mode with the given out-of-memory policy.
+    pub fn farmv2_multi_version(policy: MvPolicy) -> Self {
+        EngineMode::FarmV2 { multi_version: true, mv_policy: policy }
+    }
+
+    /// Whether this mode maintains old versions.
+    pub fn is_multi_version(&self) -> bool {
+        matches!(self, EngineMode::FarmV2 { multi_version: true, .. })
+    }
+
+    /// Whether this is the FaRMv1-style baseline.
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, EngineMode::Baseline)
+    }
+}
+
+/// Cluster-wide engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Engine variant.
+    pub mode: EngineMode,
+    /// Whether committed read-write transactions additionally append an
+    /// operation-log record to `replication` in-memory logs (Section 5.6's
+    /// NAM-DB-style configuration). Data replication is skipped in that mode.
+    pub operation_logging: bool,
+    /// How many times a read retries when it observes a locked head version
+    /// before aborting.
+    pub read_lock_retries: u32,
+    /// Interval of the background old-version garbage collector.
+    pub gc_interval: std::time::Duration,
+    /// DELIBERATELY INCORRECT (Section 7.3): skip the uncertainty wait when
+    /// acquiring the write timestamp. Only for the ablation experiment and
+    /// the counterexample test; never enable in real use.
+    pub unsafe_skip_write_wait: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::farmv2_single_version(),
+            operation_logging: false,
+            read_lock_retries: 100,
+            gc_interval: std::time::Duration::from_millis(2),
+            unsafe_skip_write_wait: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// FaRMv2 with multi-versioning enabled (MV-TRUNCATE by default, as in
+    /// production).
+    pub fn multi_version() -> Self {
+        EngineConfig { mode: EngineMode::farmv2_multi_version(MvPolicy::Truncate), ..Default::default() }
+    }
+
+    /// The FaRMv1-style baseline.
+    pub fn baseline() -> Self {
+        EngineConfig { mode: EngineMode::Baseline, ..Default::default() }
+    }
+}
+
+/// Per-transaction options.
+#[derive(Debug, Clone, Copy)]
+pub struct TxOptions {
+    /// Isolation level.
+    pub isolation: IsolationLevel,
+    /// Strictness: strict transactions wait out the read-timestamp
+    /// uncertainty; non-strict transactions use the interval's lower bound
+    /// without waiting (Section 4.2).
+    pub strict: bool,
+    /// Application hint that this transaction is likely to write; enables
+    /// eager aborts when it reads an old version even while the write set is
+    /// still empty (Section 4.7).
+    pub write_hint: bool,
+}
+
+impl Default for TxOptions {
+    fn default() -> Self {
+        TxOptions { isolation: IsolationLevel::Serializable, strict: true, write_hint: false }
+    }
+}
+
+impl TxOptions {
+    /// Strict serializability (the FaRMv2 default).
+    pub fn serializable() -> Self {
+        Self::default()
+    }
+
+    /// Non-strict serializability.
+    pub fn serializable_non_strict() -> Self {
+        TxOptions { strict: false, ..Self::default() }
+    }
+
+    /// Strict snapshot isolation.
+    pub fn snapshot_isolation() -> Self {
+        TxOptions { isolation: IsolationLevel::SnapshotIsolation, ..Self::default() }
+    }
+
+    /// Non-strict snapshot isolation (the configuration of the Section 5.6
+    /// comparison).
+    pub fn snapshot_isolation_non_strict() -> Self {
+        TxOptions { isolation: IsolationLevel::SnapshotIsolation, strict: false, write_hint: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_constructors() {
+        assert!(!EngineMode::farmv2_single_version().is_multi_version());
+        assert!(EngineMode::farmv2_multi_version(MvPolicy::Block).is_multi_version());
+        assert!(EngineMode::Baseline.is_baseline());
+        assert!(!EngineMode::farmv2_single_version().is_baseline());
+    }
+
+    #[test]
+    fn option_presets() {
+        let s = TxOptions::serializable();
+        assert!(s.strict);
+        assert_eq!(s.isolation, IsolationLevel::Serializable);
+        let ns = TxOptions::serializable_non_strict();
+        assert!(!ns.strict);
+        let si = TxOptions::snapshot_isolation();
+        assert_eq!(si.isolation, IsolationLevel::SnapshotIsolation);
+        assert!(si.strict);
+        let nssi = TxOptions::snapshot_isolation_non_strict();
+        assert!(!nssi.strict);
+    }
+
+    #[test]
+    fn engine_config_presets() {
+        assert!(EngineConfig::default().mode == EngineMode::farmv2_single_version());
+        assert!(EngineConfig::multi_version().mode.is_multi_version());
+        assert!(EngineConfig::baseline().mode.is_baseline());
+        assert!(!EngineConfig::default().unsafe_skip_write_wait);
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-node engine statistics (commits, aborts, latencies, waits).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-node counters. Benchmarks snapshot and diff them.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Committed read-write transactions.
+    pub commits_rw: AtomicU64,
+    /// Committed read-only transactions.
+    pub commits_ro: AtomicU64,
+    /// Aborts during execution (reads of locked objects, missing old
+    /// versions, eager validation, stale snapshots).
+    pub aborts_execution: AtomicU64,
+    /// Aborts in the LOCK phase.
+    pub aborts_lock: AtomicU64,
+    /// Aborts in read validation.
+    pub aborts_validation: AtomicU64,
+    /// Aborts because old-version memory was exhausted (MV-ABORT policy).
+    pub aborts_oldver_memory: AtomicU64,
+    /// Total nanoseconds spent in commit-time uncertainty waits.
+    pub write_wait_ns: AtomicU64,
+    /// Number of commit-time uncertainty waits.
+    pub write_waits: AtomicU64,
+    /// Old versions allocated.
+    pub old_versions_allocated: AtomicU64,
+    /// Old-version reads that had to walk the version chain.
+    pub old_version_reads: AtomicU64,
+    /// Times a writer blocked waiting for old-version memory (MV-BLOCK).
+    pub oldver_blocks: AtomicU64,
+    /// Times history was truncated due to memory pressure (MV-TRUNCATE).
+    pub oldver_truncations: AtomicU64,
+}
+
+/// Point-in-time copy of [`EngineStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Committed read-write transactions.
+    pub commits_rw: u64,
+    /// Committed read-only transactions.
+    pub commits_ro: u64,
+    /// Execution-phase aborts.
+    pub aborts_execution: u64,
+    /// LOCK-phase aborts.
+    pub aborts_lock: u64,
+    /// Validation aborts.
+    pub aborts_validation: u64,
+    /// MV-ABORT memory aborts.
+    pub aborts_oldver_memory: u64,
+    /// Total write-wait nanoseconds.
+    pub write_wait_ns: u64,
+    /// Number of write waits.
+    pub write_waits: u64,
+    /// Old versions allocated.
+    pub old_versions_allocated: u64,
+    /// Chain-walking reads.
+    pub old_version_reads: u64,
+    /// MV-BLOCK stalls.
+    pub oldver_blocks: u64,
+    /// MV-TRUNCATE truncations.
+    pub oldver_truncations: u64,
+}
+
+impl EngineStats {
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            commits_rw: self.commits_rw.load(Ordering::Relaxed),
+            commits_ro: self.commits_ro.load(Ordering::Relaxed),
+            aborts_execution: self.aborts_execution.load(Ordering::Relaxed),
+            aborts_lock: self.aborts_lock.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            aborts_oldver_memory: self.aborts_oldver_memory.load(Ordering::Relaxed),
+            write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
+            write_waits: self.write_waits.load(Ordering::Relaxed),
+            old_versions_allocated: self.old_versions_allocated.load(Ordering::Relaxed),
+            old_version_reads: self.old_version_reads.load(Ordering::Relaxed),
+            oldver_blocks: self.oldver_blocks.load(Ordering::Relaxed),
+            oldver_truncations: self.oldver_truncations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl EngineStatsSnapshot {
+    /// Total commits.
+    pub fn commits(&self) -> u64 {
+        self.commits_rw + self.commits_ro
+    }
+
+    /// Total aborts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_execution
+            + self.aborts_lock
+            + self.aborts_validation
+            + self.aborts_oldver_memory
+    }
+
+    /// Abort rate in [0, 1] over commits + aborts (0 when idle).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits() + self.aborts();
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / total as f64
+        }
+    }
+
+    /// Mean commit-time uncertainty wait in nanoseconds.
+    pub fn mean_write_wait_ns(&self) -> f64 {
+        if self.write_waits == 0 {
+            0.0
+        } else {
+            self.write_wait_ns as f64 / self.write_waits as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &EngineStatsSnapshot) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            commits_rw: self.commits_rw - earlier.commits_rw,
+            commits_ro: self.commits_ro - earlier.commits_ro,
+            aborts_execution: self.aborts_execution - earlier.aborts_execution,
+            aborts_lock: self.aborts_lock - earlier.aborts_lock,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_oldver_memory: self.aborts_oldver_memory - earlier.aborts_oldver_memory,
+            write_wait_ns: self.write_wait_ns - earlier.write_wait_ns,
+            write_waits: self.write_waits - earlier.write_waits,
+            old_versions_allocated: self.old_versions_allocated - earlier.old_versions_allocated,
+            old_version_reads: self.old_version_reads - earlier.old_version_reads,
+            oldver_blocks: self.oldver_blocks - earlier.oldver_blocks,
+            oldver_truncations: self.oldver_truncations - earlier.oldver_truncations,
+        }
+    }
+
+    /// Merges two snapshots by summing every counter (aggregating nodes).
+    pub fn merged(&self, other: &EngineStatsSnapshot) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            commits_rw: self.commits_rw + other.commits_rw,
+            commits_ro: self.commits_ro + other.commits_ro,
+            aborts_execution: self.aborts_execution + other.aborts_execution,
+            aborts_lock: self.aborts_lock + other.aborts_lock,
+            aborts_validation: self.aborts_validation + other.aborts_validation,
+            aborts_oldver_memory: self.aborts_oldver_memory + other.aborts_oldver_memory,
+            write_wait_ns: self.write_wait_ns + other.write_wait_ns,
+            write_waits: self.write_waits + other.write_waits,
+            old_versions_allocated: self.old_versions_allocated + other.old_versions_allocated,
+            old_version_reads: self.old_version_reads + other.old_version_reads,
+            oldver_blocks: self.oldver_blocks + other.oldver_blocks,
+            oldver_truncations: self.oldver_truncations + other.oldver_truncations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_and_merge() {
+        let s = EngineStats::default();
+        s.commits_rw.store(10, Ordering::Relaxed);
+        s.aborts_lock.store(2, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.commits_rw.store(15, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.commits_rw, 5);
+        assert_eq!(d.aborts_lock, 0);
+        let m = a.merged(&b);
+        assert_eq!(m.commits_rw, 25);
+        assert_eq!(m.aborts(), 4);
+    }
+
+    #[test]
+    fn abort_rate_and_mean_wait() {
+        let mut snap = EngineStatsSnapshot { commits_rw: 98, aborts_lock: 2, ..Default::default() };
+        assert!((snap.abort_rate() - 0.02).abs() < 1e-9);
+        snap.write_waits = 4;
+        snap.write_wait_ns = 40_000;
+        assert_eq!(snap.mean_write_wait_ns(), 10_000.0);
+        let idle = EngineStatsSnapshot::default();
+        assert_eq!(idle.abort_rate(), 0.0);
+        assert_eq!(idle.mean_write_wait_ns(), 0.0);
+    }
+}

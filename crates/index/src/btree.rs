@@ -1,0 +1,250 @@
+//! A transactional ordered map ("B-tree") with cached internal structure and
+//! uncached, transactional leaf reads.
+//!
+//! The FaRM B-tree caches internal nodes at every server and always reads
+//! leaves uncached within the transaction, adding them to the read set
+//! (Section 2). We reproduce that split directly: the key → leaf directory
+//! is an ordinary shared in-memory ordered map standing in for the cached
+//! internal nodes, while each leaf is a FaRM object read and written through
+//! the transaction. A stale directory hint is caught by the leaf read (the
+//! leaf stores its own key), playing the role of the paper's fence keys.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use farm_core::{Addr, Engine, NodeId, Transaction, TxError};
+use parking_lot::RwLock;
+
+use crate::codec::{decode_entries, encode_entries};
+
+/// A transactional ordered map keyed by `u64`.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    engine: Arc<Engine>,
+    /// Cached "internal nodes": key → leaf address. Shared by all machines in
+    /// this in-process reproduction, as the cache is kept consistent enough
+    /// by construction (leaves are never moved; deletions remove the entry).
+    directory: Arc<RwLock<BTreeMap<u64, Addr>>>,
+    /// Round-robin cursor over regions for spreading leaves.
+    creator: NodeId,
+}
+
+impl BTree {
+    /// Creates an empty tree whose leaves will be allocated by transactions
+    /// coordinated from any node; `creator` only seeds region placement.
+    pub fn create(engine: &Arc<Engine>, creator: NodeId) -> BTree {
+        BTree {
+            engine: Arc::clone(engine),
+            directory: Arc::new(RwLock::new(BTreeMap::new())),
+            creator,
+        }
+    }
+
+    /// Number of keys currently indexed.
+    pub fn len(&self) -> usize {
+        self.directory.read().len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.directory.read().is_empty()
+    }
+
+    fn region_for(&self, key: u64) -> farm_core::RegionId {
+        let regions = self.engine.cluster().regions();
+        regions[(key as usize) % regions.len()]
+    }
+
+    /// Looks up `key` within `tx`.
+    pub fn get(&self, tx: &mut Transaction, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        let leaf = { self.directory.read().get(&key).copied() };
+        let Some(leaf) = leaf else { return Ok(None) };
+        let data = tx.read(leaf)?;
+        Ok(decode_entries(&data)
+            .into_iter()
+            .find(|(k, _)| k.as_slice() == key.to_be_bytes())
+            .map(|(_, v)| v))
+    }
+
+    /// Inserts or updates `key` within `tx`.
+    pub fn put(&self, tx: &mut Transaction, key: u64, value: &[u8]) -> Result<(), TxError> {
+        let encoded = encode_entries(&[(key.to_be_bytes().to_vec(), value.to_vec())]);
+        let existing = { self.directory.read().get(&key).copied() };
+        match existing {
+            Some(leaf) => {
+                // Read first so the leaf is in the read set (uncached leaf
+                // read), then overwrite.
+                let _ = tx.read(leaf)?;
+                tx.write(leaf, encoded)
+            }
+            None => {
+                let region = self.region_for(key);
+                let leaf = tx.alloc_in(region, encoded)?;
+                // Publish the directory hint. If the transaction later
+                // aborts, the hint points at an unallocated slot and is
+                // repaired lazily by the next reader/writer.
+                self.directory.write().insert(key, leaf);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `key` within `tx`, returning whether it was present.
+    pub fn remove(&self, tx: &mut Transaction, key: u64) -> Result<bool, TxError> {
+        let existing = { self.directory.read().get(&key).copied() };
+        let Some(leaf) = existing else { return Ok(false) };
+        tx.free(leaf)?;
+        self.directory.write().remove(&key);
+        Ok(true)
+    }
+
+    /// Reads up to `count` consecutive keys starting at the first key `>=
+    /// start`, returning `(key, value)` pairs. Every leaf is read within
+    /// `tx`, so the scan observes one consistent snapshot — the workload of
+    /// Figure 15.
+    pub fn scan(
+        &self,
+        tx: &mut Transaction,
+        start: u64,
+        count: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxError> {
+        let targets: Vec<(u64, Addr)> = {
+            let dir = self.directory.read();
+            dir.range((Bound::Included(start), Bound::Unbounded))
+                .take(count)
+                .map(|(k, a)| (*k, *a))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(targets.len());
+        for (key, leaf) in targets {
+            let data = tx.read(leaf)?;
+            if let Some((_, v)) = decode_entries(&data)
+                .into_iter()
+                .find(|(k, _)| k.as_slice() == key.to_be_bytes())
+            {
+                out.push((key, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The node used to seed placement (for documentation purposes).
+    pub fn creator(&self) -> NodeId {
+        self.creator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_core::EngineConfig;
+    use farm_kernel::ClusterConfig;
+
+    fn setup(cfg: EngineConfig) -> (Arc<Engine>, BTree) {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), cfg);
+        let tree = BTree::create(&engine, NodeId(0));
+        (engine, tree)
+    }
+
+    #[test]
+    fn insert_get_scan_remove() {
+        let (engine, tree) = setup(EngineConfig::default());
+        let node = engine.node(NodeId(0));
+        let mut tx = node.begin();
+        for k in [5u64, 1, 9, 3, 7] {
+            tree.put(&mut tx, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(tree.len(), 5);
+
+        let mut tx = node.begin();
+        assert_eq!(tree.get(&mut tx, 3).unwrap(), Some(b"v3".to_vec()));
+        assert_eq!(tree.get(&mut tx, 4).unwrap(), None);
+        let scanned = tree.scan(&mut tx, 3, 3).unwrap();
+        assert_eq!(
+            scanned,
+            vec![(3, b"v3".to_vec()), (5, b"v5".to_vec()), (7, b"v7".to_vec())]
+        );
+        tx.commit().unwrap();
+
+        let mut tx = node.begin();
+        assert!(tree.remove(&mut tx, 5).unwrap());
+        assert!(!tree.remove(&mut tx, 5).unwrap());
+        tx.commit().unwrap();
+        let mut tx = node.begin();
+        assert_eq!(tree.get(&mut tx, 5).unwrap(), None);
+        let scanned = tree.scan(&mut tx, 0, 10).unwrap();
+        assert_eq!(scanned.len(), 4);
+        tx.commit().unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn scan_sees_consistent_snapshot_under_multi_versioning() {
+        let (engine, tree) = setup(EngineConfig::multi_version());
+        let node = engine.node(NodeId(0));
+        // Populate keys 0..20 with value "0".
+        let mut tx = node.begin();
+        for k in 0..20u64 {
+            tree.put(&mut tx, k, b"0").unwrap();
+        }
+        tx.commit().unwrap();
+
+        // Start a scanning transaction, then update half the keys from a
+        // concurrent transaction; the scan must still see all-"0".
+        let mut scanner = node.begin();
+        let _ = tree.get(&mut scanner, 0).unwrap();
+        let mut writer = node.begin();
+        for k in 0..10u64 {
+            tree.put(&mut writer, k, b"1").unwrap();
+        }
+        writer.commit().unwrap();
+        let scanned = tree.scan(&mut scanner, 0, 20).unwrap();
+        assert_eq!(scanned.len(), 20);
+        assert!(
+            scanned.iter().all(|(_, v)| v == b"0"),
+            "scan must observe the snapshot from before the concurrent update"
+        );
+        scanner.commit().unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn scan_in_single_version_mode_aborts_when_overwritten() {
+        let (engine, tree) = setup(EngineConfig::default());
+        let node = engine.node(NodeId(0));
+        let mut tx = node.begin();
+        for k in 0..10u64 {
+            tree.put(&mut tx, k, b"0").unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut scanner = node.begin();
+        let _ = tree.get(&mut scanner, 0).unwrap();
+        let mut writer = node.begin();
+        tree.put(&mut writer, 5, b"1").unwrap();
+        writer.commit().unwrap();
+        let err = tree.scan(&mut scanner, 0, 10).unwrap_err();
+        assert!(err.is_retryable(), "single-version scan over updated keys must abort: {err:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn keys_spread_across_nodes_are_readable_from_any_coordinator() {
+        let (engine, tree) = setup(EngineConfig::default());
+        let mut tx = engine.node(NodeId(0)).begin();
+        for k in 0..30u64 {
+            tree.put(&mut tx, k, &k.to_le_bytes()).unwrap();
+        }
+        tx.commit().unwrap();
+        for n in 0..3u32 {
+            let mut tx = engine.node(NodeId(n)).begin();
+            for k in 0..30u64 {
+                assert_eq!(tree.get(&mut tx, k).unwrap(), Some(k.to_le_bytes().to_vec()));
+            }
+            tx.commit().unwrap();
+        }
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,78 @@
+//! Tiny length-prefixed encoding for (key, value) entry lists stored inside
+//! bucket / leaf objects.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encodes a list of `(key, value)` pairs into one object payload.
+pub fn encode_entries(entries: &[(Vec<u8>, Vec<u8>)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(entries.len() as u16);
+    for (k, v) in entries {
+        buf.put_u16_le(k.len() as u16);
+        buf.put_slice(k);
+        buf.put_u16_le(v.len() as u16);
+        buf.put_slice(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes an object payload produced by [`encode_entries`]. Returns an empty
+/// list for an empty payload (freshly allocated bucket).
+pub fn decode_entries(data: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    if data.len() < 2 {
+        return Vec::new();
+    }
+    let count = u16::from_le_bytes([data[0], data[1]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 2;
+    for _ in 0..count {
+        if pos + 2 > data.len() {
+            break;
+        }
+        let klen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if pos + klen > data.len() {
+            break;
+        }
+        let key = data[pos..pos + klen].to_vec();
+        pos += klen;
+        if pos + 2 > data.len() {
+            break;
+        }
+        let vlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if pos + vlen > data.len() {
+            break;
+        }
+        let value = data[pos..pos + vlen].to_vec();
+        pos += vlen;
+        out.push((key, value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            (b"alpha".to_vec(), b"1".to_vec()),
+            (b"b".to_vec(), vec![7u8; 100]),
+            (Vec::new(), Vec::new()),
+        ];
+        let encoded = encode_entries(&entries);
+        assert_eq!(decode_entries(&encoded), entries);
+    }
+
+    #[test]
+    fn empty_and_garbage_payloads_decode_to_empty() {
+        assert!(decode_entries(&[]).is_empty());
+        assert!(decode_entries(&[0]).is_empty());
+        let truncated = encode_entries(&[(b"key".to_vec(), b"value".to_vec())]);
+        let cut = &truncated[..truncated.len() - 2];
+        // Truncated payloads never panic; they just yield fewer entries.
+        assert!(decode_entries(cut).len() <= 1);
+    }
+}

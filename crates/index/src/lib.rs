@@ -1,0 +1,38 @@
+//! # farm-index — transactional data structures on the FaRMv2 API
+//!
+//! FaRM applications build their indexes directly on the transactional
+//! object store (Section 2 of the paper): a chained **hash table** for point
+//! lookups and a **B-tree** for ordered access, with internal nodes cached at
+//! every server and leaves always read uncached inside the transaction so
+//! that strict serializability is preserved.
+//!
+//! This crate follows the same structure:
+//!
+//! * [`HashTable`] — a fixed-directory chained hash table whose buckets are
+//!   FaRM objects. Every lookup reads the bucket object inside the calling
+//!   transaction, so it is covered by opacity and validation.
+//! * [`BTree`] — an ordered map whose *leaves* are FaRM objects (one object
+//!   per key/value pair for large values, mirroring the YCSB setup in
+//!   Section 5.3 where "B-Tree leaves were large enough to hold exactly one
+//!   key-value pair"), and whose *internal* structure (the key → leaf
+//!   directory) is cached in ordinary shared memory at each machine, exactly
+//!   like FaRM's cached internal B-tree nodes. Leaf reads always go through
+//!   the transaction; directory entries are only hints whose staleness is
+//!   caught by the leaf read (the role fence keys play in the paper).
+//!
+//! Both structures expose `get` / `put` / `remove` (and `scan` for the
+//! B-tree) operating on an explicit [`Transaction`], so multi-index
+//! operations compose into one atomic transaction — which is how the TPC-C
+//! workload uses them.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod btree;
+pub mod codec;
+pub mod hashtable;
+
+pub use btree::BTree;
+pub use hashtable::HashTable;
+
+pub use farm_core::{Transaction, TxError};

@@ -1,0 +1,833 @@
+//! Cluster assembly, lease-driven control loop, reconfiguration and clock
+//! failover.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use farm_clock::{ClockConfig, DriftClock, MonotonicClock, NodeClock, SharedClock, SyncSample};
+use farm_memory::{OldVersionStore, RegionConfig, RegionId, RegionStore};
+use farm_net::{FaultPlane, NetStats, NodeId, Verb};
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::{ConfigRecord, ConfigStore};
+use crate::events::{EventKind, EventLog};
+use crate::node::NodeHandle;
+use crate::placement::Placement;
+
+/// Hooks with which the transaction engine reacts to control-plane events.
+pub trait RecoveryHooks: Send + Sync {
+    /// A backup of `region` on `new_primary` was promoted to primary; the
+    /// engine should rebuild primary-only state (allocator bitmaps were
+    /// already rebuilt) and recover locks from untruncated logs.
+    fn on_region_promoted(&self, region: RegionId, new_primary: NodeId) {
+        let _ = (region, new_primary);
+    }
+
+    /// A new configuration was committed.
+    fn on_config_committed(&self, config: &ConfigRecord) {
+        let _ = config;
+    }
+}
+
+/// A no-op hook implementation.
+pub struct NoHooks;
+impl RecoveryHooks for NoHooks {}
+
+/// Cluster-wide configuration knobs. The defaults are scaled-down versions of
+/// the paper's deployment parameters; every experiment harness overrides the
+/// knobs it sweeps.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub nodes: usize,
+    /// Replication factor (primary + backups); the paper evaluates 3-way.
+    pub replication: usize,
+    /// Regions whose primary lives on each machine.
+    pub regions_per_node: usize,
+    /// Interval between control rounds (lease renewal + clock sync).
+    pub control_interval: Duration,
+    /// Lease expiry: a machine silent for this long is suspected.
+    pub lease_expiry: Duration,
+    /// Discard all but one in `sync_sampling_ratio` synchronization
+    /// responses, emulating larger clusters at a fixed aggregate sync rate
+    /// (Figure 17). 1 = keep every response.
+    pub sync_sampling_ratio: u32,
+    /// Clock subsystem configuration.
+    pub clock: ClockConfig,
+    /// Region / slab sizing.
+    pub region: RegionConfig,
+    /// Old-version block size in bytes.
+    pub old_version_block_bytes: usize,
+    /// Old-version memory budget per machine in bytes.
+    pub old_version_max_bytes: usize,
+    /// Maximum per-node clock offset applied at startup (deterministic
+    /// spread), in nanoseconds.
+    pub max_clock_offset_ns: u64,
+    /// Maximum per-node drift magnitude applied at startup (deterministic
+    /// spread), in ppm. Must be below the drift bound in `clock`.
+    pub max_drift_ppm: i32,
+    /// Pace of background re-replication: delay inserted between copying
+    /// consecutive regions (the paper paces re-replication to protect
+    /// foreground work).
+    pub rereplication_pace: Duration,
+    /// Whether to run the background control thread. Tests that want to
+    /// drive control rounds manually set this to `false`.
+    pub auto_control: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            replication: 3,
+            regions_per_node: 2,
+            control_interval: Duration::from_micros(500),
+            lease_expiry: Duration::from_millis(10),
+            sync_sampling_ratio: 1,
+            clock: ClockConfig::default(),
+            region: RegionConfig::default(),
+            old_version_block_bytes: 64 * 1024,
+            old_version_max_bytes: 64 * 1024 * 1024,
+            max_clock_offset_ns: 1_000_000,
+            max_drift_ppm: 100,
+            rereplication_pace: Duration::from_millis(20),
+            auto_control: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A small configuration convenient for unit tests: no background control
+    /// thread, tiny regions.
+    pub fn test(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            replication: nodes.min(3),
+            regions_per_node: 1,
+            region: RegionConfig::small(),
+            old_version_block_bytes: 4 * 1024,
+            old_version_max_bytes: 1024 * 1024,
+            rereplication_pace: Duration::from_millis(0),
+            auto_control: false,
+            ..Default::default()
+        }
+    }
+}
+
+struct CmLeaseState {
+    /// Last lease renewal seen from each member.
+    last_seen: Vec<Instant>,
+    /// Latest `OAT_local` reported by each member.
+    oat_local: Vec<u64>,
+    /// Latest `GC_local` reported by each member.
+    gc_local: Vec<u64>,
+}
+
+/// The assembled cluster: all machines plus the control plane.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<Arc<NodeHandle>>,
+    faults: Arc<FaultPlane>,
+    config_store: Arc<ConfigStore>,
+    placement: RwLock<Placement>,
+    events: EventLog,
+    hooks: RwLock<Arc<dyn RecoveryHooks>>,
+    cm_lease: Mutex<CmLeaseState>,
+    /// Last successful lease response observed by each non-CM.
+    last_cm_response: Mutex<Vec<Instant>>,
+    /// Per-node counter of sync responses, for the sampling filter.
+    sync_counter: Vec<AtomicU64>,
+    reconfig_lock: Mutex<()>,
+    stop: Arc<AtomicBool>,
+    control_thread: Mutex<Option<JoinHandle<()>>>,
+    rereplication_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Builds and starts a cluster. Node 0 is the initial configuration
+    /// manager and clock master. All clocks are synchronized once before this
+    /// returns, so timestamps can be acquired immediately.
+    pub fn start(cfg: ClusterConfig) -> Arc<Cluster> {
+        assert!(cfg.nodes >= 1);
+        assert!(cfg.replication >= 1 && cfg.replication <= cfg.nodes);
+        assert!(cfg.max_drift_ppm >= 0 && (cfg.max_drift_ppm as u32) < cfg.clock.drift_bound_ppm);
+        let base: SharedClock = Arc::new(MonotonicClock::new());
+        let node_ids: Vec<NodeId> = (0..cfg.nodes as u32).map(NodeId).collect();
+        let faults = Arc::new(FaultPlane::new());
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for (i, &id) in node_ids.iter().enumerate() {
+            // Deterministic spread of offsets and drift so different machines
+            // really do have different clocks, without needing an RNG.
+            let offset = (i as u64 * 7_919) % (cfg.max_clock_offset_ns.max(1));
+            let drift = if cfg.max_drift_ppm == 0 {
+                0
+            } else {
+                let span = 2 * cfg.max_drift_ppm + 1;
+                ((i as i32 * 37) % span) - cfg.max_drift_ppm
+            };
+            let local: SharedClock = Arc::new(DriftClock::new(Arc::clone(&base), offset, drift));
+            let clock = if i == 0 {
+                Arc::new(NodeClock::new_master(local, cfg.clock))
+            } else {
+                Arc::new(NodeClock::new_slave(local, cfg.clock))
+            };
+            let handle = NodeHandle::new(
+                id,
+                clock,
+                Arc::new(RegionStore::new(cfg.region)),
+                Arc::new(OldVersionStore::new(cfg.old_version_block_bytes, cfg.old_version_max_bytes)),
+                Arc::new(NetStats::default()),
+            );
+            nodes.push(Arc::new(handle));
+        }
+        let placement = Placement::initial(&node_ids, cfg.regions_per_node, cfg.replication);
+        let config_store = Arc::new(ConfigStore::new(node_ids.clone(), NodeId(0)));
+        let now = Instant::now();
+        let cluster = Arc::new(Cluster {
+            cm_lease: Mutex::new(CmLeaseState {
+                last_seen: vec![now; cfg.nodes],
+                oat_local: vec![0; cfg.nodes],
+                gc_local: vec![0; cfg.nodes],
+            }),
+            last_cm_response: Mutex::new(vec![now; cfg.nodes]),
+            sync_counter: (0..cfg.nodes).map(|_| AtomicU64::new(0)).collect(),
+            nodes,
+            faults,
+            config_store,
+            placement: RwLock::new(placement),
+            events: EventLog::new(),
+            hooks: RwLock::new(Arc::new(NoHooks)),
+            reconfig_lock: Mutex::new(()),
+            stop: Arc::new(AtomicBool::new(false)),
+            control_thread: Mutex::new(None),
+            rereplication_threads: Mutex::new(Vec::new()),
+            cfg,
+        });
+        // Synchronize every non-CM once so clocks are enabled before use.
+        for _ in 0..2 {
+            cluster.control_round();
+        }
+        if cluster.cfg.auto_control {
+            let c = Arc::clone(&cluster);
+            let stop = Arc::clone(&cluster.stop);
+            let interval = cluster.cfg.control_interval;
+            let handle = std::thread::Builder::new()
+                .name("farm-control".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        c.control_round();
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn control thread");
+            *cluster.control_thread.lock() = Some(handle);
+        }
+        cluster
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The machine with the given id.
+    pub fn node(&self, id: NodeId) -> &Arc<NodeHandle> {
+        &self.nodes[id.index()]
+    }
+
+    /// All machines (dead ones included).
+    pub fn nodes(&self) -> &[Arc<NodeHandle>] {
+        &self.nodes
+    }
+
+    /// The fault-injection plane.
+    pub fn faults(&self) -> &Arc<FaultPlane> {
+        &self.faults
+    }
+
+    /// The event log (availability experiments).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The current configuration record.
+    pub fn current_config(&self) -> ConfigRecord {
+        self.config_store.read()
+    }
+
+    /// A snapshot of the current placement.
+    pub fn placement(&self) -> Placement {
+        self.placement.read().clone()
+    }
+
+    /// All region ids.
+    pub fn regions(&self) -> Vec<RegionId> {
+        self.placement.read().regions()
+    }
+
+    /// The current primary of a region, if the region exists.
+    pub fn primary_of(&self, region: RegionId) -> Option<NodeId> {
+        self.placement.read().assignment(region).map(|a| a.primary)
+    }
+
+    /// The current replica set of a region.
+    pub fn replicas_of(&self, region: RegionId) -> Vec<NodeId> {
+        self.placement.read().assignment(region).map(|a| a.replicas()).unwrap_or_default()
+    }
+
+    /// Regions whose primary is currently `node`.
+    pub fn primaries_on(&self, node: NodeId) -> Vec<RegionId> {
+        self.placement.read().primaries_of(node)
+    }
+
+    /// Registers the transaction engine's recovery hooks.
+    pub fn set_recovery_hooks(&self, hooks: Arc<dyn RecoveryHooks>) {
+        *self.hooks.write() = hooks;
+    }
+
+    /// Kills a machine: its process stops, its leases stop renewing, and the
+    /// failure detector will eventually trigger reconfiguration. Returns
+    /// immediately.
+    pub fn kill(&self, node: NodeId) {
+        self.faults.kill(node);
+        self.nodes[node.index()].mark_dead();
+    }
+
+    /// Stops the control thread and any background re-replication.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.control_thread.lock().take() {
+            let _ = h.join();
+        }
+        for h in self.rereplication_threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control rounds: lease renewal, clock sync, OAT/GC propagation,
+    // failure detection.
+    // ------------------------------------------------------------------
+
+    /// Performs one control round on behalf of every live machine. Normally
+    /// invoked by the background control thread; tests may call it directly.
+    pub fn control_round(&self) {
+        let config = self.config_store.read();
+        let cm = config.cm;
+        // Non-CM duties first: lease renewal (carrying OAT/GC and clock
+        // sync). Doing renewals before the expiry check means a live member
+        // is never suspected merely because the previous control round was a
+        // while ago.
+        for &member in &config.members {
+            if member == cm || !self.nodes[member.index()].is_alive() {
+                continue;
+            }
+            let ok = self.lease_exchange(member, cm);
+            if !ok {
+                let elapsed = {
+                    let last = self.last_cm_response.lock();
+                    Instant::now().duration_since(last[member.index()])
+                };
+                if elapsed > self.cfg.lease_expiry {
+                    self.initiate_reconfiguration(member, &[cm]);
+                    return;
+                }
+            }
+        }
+        // CM-side duties: update its own OAT entries and detect expired
+        // leases.
+        let now = Instant::now();
+        if self.nodes[cm.index()].is_alive() {
+            {
+                let mut lease = self.cm_lease.lock();
+                lease.oat_local[cm.index()] = self.nodes[cm.index()].oat_local();
+                lease.gc_local[cm.index()] = self.nodes[cm.index()].gc_local();
+                lease.last_seen[cm.index()] = now;
+            }
+            let expired: Vec<NodeId> = {
+                let lease = self.cm_lease.lock();
+                config
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|m| *m != cm)
+                    .filter(|m| now.duration_since(lease.last_seen[m.index()]) > self.cfg.lease_expiry)
+                    .collect()
+            };
+            if !expired.is_empty() {
+                self.initiate_reconfiguration(cm, &expired);
+            }
+        }
+    }
+
+    /// One lease renewal from `member` to `cm`: the 3-way handshake carrying
+    /// clock synchronization and OAT/GC propagation. Returns whether the
+    /// exchange succeeded.
+    fn lease_exchange(&self, member: NodeId, cm: NodeId) -> bool {
+        if !self.faults.reachable(member, cm) || !self.nodes[cm.index()].is_alive() {
+            return false;
+        }
+        let member_node = &self.nodes[member.index()];
+        let cm_node = &self.nodes[cm.index()];
+        // Request: member -> CM, carrying OAT_local and GC_local.
+        member_node.stats().record(Verb::Rpc, 64);
+        let oat_local = member_node.oat_local();
+        let gc_local_of_member = member_node.gc_local();
+        let (oat_cm, gc_cm) = {
+            let mut lease = self.cm_lease.lock();
+            lease.last_seen[member.index()] = Instant::now();
+            lease.oat_local[member.index()] = oat_local;
+            lease.gc_local[member.index()] = gc_local_of_member;
+            let config = self.config_store.read();
+            let live: Vec<usize> = config
+                .members
+                .iter()
+                .filter(|m| self.nodes[m.index()].is_alive())
+                .map(|m| m.index())
+                .collect();
+            let oat_cm = live.iter().map(|&i| lease.oat_local[i]).min().unwrap_or(0);
+            let gc_cm = live.iter().map(|&i| lease.gc_local[i]).min().unwrap_or(0);
+            (oat_cm, gc_cm)
+        };
+        // Clock synchronization piggybacked on the lease exchange, subject to
+        // the sampling filter used to emulate larger clusters (Figure 17).
+        let t_send = member_node.clock().local_clock().now_ns();
+        let master_time = cm_node.clock().serve_master_time();
+        let t_recv = member_node.clock().local_clock().now_ns();
+        // Response: CM -> member.
+        cm_node.stats().record(Verb::Rpc, 64);
+        member_node.note_oat_cm(oat_cm);
+        member_node.note_gc(gc_cm);
+        // The CM learns the global values too (its own lease with itself).
+        self.nodes[cm.index()].note_oat_cm(oat_cm);
+        self.nodes[cm.index()].note_gc(gc_cm);
+        if let Ok(t_cm) = master_time {
+            let count = self.sync_counter[member.index()].fetch_add(1, Ordering::Relaxed);
+            if count % self.cfg.sync_sampling_ratio as u64 == 0 {
+                member_node.clock().record_sync(SyncSample { t_send, t_cm, t_recv });
+            }
+        }
+        let mut last = self.last_cm_response.lock();
+        last[member.index()] = Instant::now();
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Reconfiguration and clock failover (Figure 6).
+    // ------------------------------------------------------------------
+
+    /// Initiates a reconfiguration removing `suspected` nodes, with
+    /// `initiator` becoming the new CM if the old CM is among the removed.
+    pub fn initiate_reconfiguration(&self, initiator: NodeId, suspected: &[NodeId]) {
+        let _guard = match self.reconfig_lock.try_lock() {
+            Some(g) => g,
+            None => return, // another reconfiguration is already in progress
+        };
+        let config = self.config_store.read();
+        let mut failed: Vec<NodeId> = suspected
+            .iter()
+            .copied()
+            .filter(|n| config.contains(*n))
+            .collect();
+        // Also sweep in any other node that is already known dead.
+        for &m in &config.members {
+            if !self.nodes[m.index()].is_alive() && !failed.contains(&m) {
+                failed.push(m);
+            }
+        }
+        if failed.is_empty() {
+            return;
+        }
+        for &f in &failed {
+            self.events.record(EventKind::Suspected(f));
+            self.nodes[f.index()].mark_dead();
+        }
+        let new_members: Vec<NodeId> =
+            config.members.iter().copied().filter(|m| !failed.contains(m)).collect();
+        if new_members.is_empty() {
+            return;
+        }
+        let cm_failed = failed.contains(&config.cm);
+        let new_cm = if cm_failed { initiator } else { config.cm };
+        let new_config = match self.config_store.compare_and_swap(config.epoch, new_members.clone(), new_cm)
+        {
+            Ok(c) => c,
+            Err(_) => return, // lost the race; the winner handles recovery
+        };
+
+        if cm_failed {
+            self.clock_failover(&new_config, &failed);
+        }
+        // Leases restart with the new configuration: every member is granted
+        // a fresh lease so the new CM does not immediately suspect survivors
+        // whose renewals were delayed by the reconfiguration itself.
+        {
+            let now = Instant::now();
+            let mut lease = self.cm_lease.lock();
+            for t in lease.last_seen.iter_mut() {
+                *t = now;
+            }
+            let mut last = self.last_cm_response.lock();
+            for t in last.iter_mut() {
+                *t = now;
+            }
+        }
+        self.events.record(EventKind::ConfigCommitted { epoch: new_config.epoch, cm: new_config.cm });
+        self.hooks.read().on_config_committed(&new_config);
+
+        // Placement updates: promote backups for regions that lost their
+        // primary, then restore redundancy in the background.
+        let mut promotions = Vec::new();
+        {
+            let mut placement = self.placement.write();
+            for &f in &failed {
+                promotions.extend(placement.remove_node(f));
+            }
+        }
+        for (region, new_primary) in &promotions {
+            // The new primary rebuilds allocator state by scanning headers.
+            if let Some(replica) = self.nodes[new_primary.index()].regions().get(*region) {
+                replica.rebuild_allocation_state();
+            }
+            self.events
+                .record(EventKind::RegionPromoted { region: *region, new_primary: *new_primary });
+            self.hooks.read().on_region_promoted(*region, *new_primary);
+        }
+        self.spawn_rereplication(new_config);
+    }
+
+    /// The clock failover protocol of Figure 6, run by the new CM.
+    fn clock_failover(&self, new_config: &ConfigRecord, failed: &[NodeId]) {
+        let new_cm = new_config.cm;
+        let cm_node = &self.nodes[new_cm.index()];
+        // DISABLE CLOCK on the new CM.
+        self.events.record(EventKind::ClockDisabled);
+        cm_node.clock().disable();
+        let mut ff = cm_node.clock().update_ff_from_time();
+        // NEW-CONFIG to all non-CMs: disable clocks, collect FF.
+        for &m in &new_config.members {
+            if m == new_cm {
+                continue;
+            }
+            if self.faults.reachable(new_cm, m) && self.nodes[m.index()].is_alive() {
+                cm_node.stats().record(Verb::Rpc, 64);
+                let node = &self.nodes[m.index()];
+                node.clock().disable();
+                let node_ff = node.clock().update_ff_from_time();
+                ff = ff.max(node_ff);
+                self.nodes[m.index()].stats().record(Verb::Rpc, 64);
+            }
+        }
+        // LEASE EXPIRY WAIT: only needed if a non-CM failed too (the old CM's
+        // lease has certainly expired if only the CM failed).
+        let non_cm_failed = failed.iter().any(|f| {
+            // "old CM" is whatever CM the previous configuration had; every
+            // failed node that is not the previous CM counts.
+            *f != self.previous_cm_guess(new_config)
+        });
+        if non_cm_failed {
+            std::thread::sleep(self.cfg.lease_expiry);
+        }
+        // Advance FF once more with the CM's own time after the wait.
+        ff = ff.max(cm_node.clock().update_ff_from_time());
+        // ADVANCE: propagate FF so time moves forward even if the new CM
+        // fails right after enabling its clock.
+        for &m in &new_config.members {
+            if m == new_cm {
+                continue;
+            }
+            if self.faults.reachable(new_cm, m) && self.nodes[m.index()].is_alive() {
+                cm_node.stats().record(Verb::Rpc, 64);
+                self.nodes[m.index()].clock().raise_ff(ff);
+                // Non-CMs drop all previous synchronization state and wait
+                // for their first sync against the new master.
+                self.nodes[m.index()].clock().become_slave();
+            }
+        }
+        // ENABLE CLOCK at [FF, FF] on the new CM.
+        cm_node.clock().become_master_at(ff);
+        cm_node.clock().enable();
+        self.events.record(EventKind::ClockEnabled { ff });
+    }
+
+    /// Best-effort guess of the CM of the previous configuration (used only
+    /// to decide whether the lease-expiry wait may be skipped).
+    fn previous_cm_guess(&self, new_config: &ConfigRecord) -> NodeId {
+        // The previous CM is the lowest-numbered node that is not in the new
+        // configuration but was initially a member, falling back to the new
+        // CM if nothing matches (conservative: forces the wait).
+        for i in 0..self.cfg.nodes as u32 {
+            let id = NodeId(i);
+            if !new_config.contains(id) {
+                return id;
+            }
+        }
+        new_config.cm
+    }
+
+    /// Spawns paced background re-replication restoring the replication
+    /// factor of under-replicated regions.
+    fn spawn_rereplication(&self, config: ConfigRecord) {
+        let under: Vec<(RegionId, usize)> =
+            self.placement.read().under_replicated(self.cfg.replication);
+        if under.is_empty() {
+            self.events.record(EventKind::RereplicationComplete);
+            return;
+        }
+        let nodes = self.nodes.clone();
+        let events = self.events.clone();
+        let pace = self.cfg.rereplication_pace;
+        // The placement metadata is updated inline (it is cheap); only the
+        // data copy — the part the paper paces to protect foreground work —
+        // runs on the background thread.
+        let mut new_backups: Vec<(RegionId, NodeId)> = Vec::new();
+        {
+            let mut placement = self.placement.write();
+            for (region, _count) in &under {
+                let assignment = match placement.assignment(*region) {
+                    Some(a) => a.clone(),
+                    None => continue,
+                };
+                // Pick the first live member not already holding a replica.
+                let candidate = config
+                    .members
+                    .iter()
+                    .copied()
+                    .find(|m| self.nodes[m.index()].is_alive() && !assignment.involves(*m));
+                if let Some(backup) = candidate {
+                    placement.add_backup(*region, backup);
+                    new_backups.push((*region, backup));
+                }
+            }
+        }
+        if new_backups.is_empty() {
+            self.events.record(EventKind::RereplicationComplete);
+            return;
+        }
+        let placement_snapshot = self.placement.read().clone();
+        let handle = std::thread::Builder::new()
+            .name("farm-rereplication".into())
+            .spawn(move || {
+                for (region, backup) in new_backups {
+                    // Paced copy: clone every allocated object from the
+                    // current primary replica into the new backup replica.
+                    std::thread::sleep(pace);
+                    if let Some(assignment) = placement_snapshot.assignment(region) {
+                        let primary = assignment.primary;
+                        let src = nodes[primary.index()].regions().ensure(region);
+                        let dst = nodes[backup.index()].regions().ensure(region);
+                        let slab_count = src.slab_count() as u16;
+                        for slab_idx in 0..slab_count {
+                            if let Some(slab) = src.slab(slab_idx) {
+                                let dst_slab = dst.ensure_slab(slab_idx, slab.object_size());
+                                for slot_idx in 0..slab.capacity() as u32 {
+                                    if let (Ok(s), Ok(d)) = (slab.slot(slot_idx), dst_slab.slot(slot_idx)) {
+                                        let h = s.header_snapshot();
+                                        if h.allocated {
+                                            d.initialize(h.ts, s.raw_data());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Bring the new backup's allocator metadata in line
+                        // with the copied headers.
+                        dst.rebuild_allocation_state();
+                    }
+                    events.record(EventKind::Rereplicated { region, new_backup: backup });
+                }
+                events.record(EventKind::RereplicationComplete);
+            })
+            .expect("spawn re-replication thread");
+        self.rereplication_threads.lock().push(handle);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.control_thread.lock().take() {
+            let _ = h.join();
+        }
+        for h in self.rereplication_threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_clock::TsMode;
+
+    #[test]
+    fn start_enables_all_clocks() {
+        let cluster = Cluster::start(ClusterConfig::test(3));
+        for node in cluster.nodes() {
+            assert!(node.clock().is_enabled(), "clock of {:?} not enabled", node.id());
+            let (ts, _) = node.clock().get_ts(TsMode::NonStrictRead);
+            assert!(ts.as_nanos() > 0);
+        }
+        assert_eq!(cluster.current_config().epoch, 1);
+        assert_eq!(cluster.current_config().cm, NodeId(0));
+    }
+
+    #[test]
+    fn placement_covers_all_nodes() {
+        let cluster = Cluster::start(ClusterConfig::test(4));
+        assert_eq!(cluster.regions().len(), 4);
+        for region in cluster.regions() {
+            let replicas = cluster.replicas_of(region);
+            assert_eq!(replicas.len(), 3);
+        }
+        assert_eq!(cluster.primaries_on(NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn oat_and_gc_propagate_through_lease_rounds() {
+        let cluster = Cluster::start(ClusterConfig::test(3));
+        for _ in 0..4 {
+            cluster.control_round();
+        }
+        for node in cluster.nodes() {
+            assert!(node.gc_local() > 0, "GC_local never propagated to {:?}", node.id());
+            assert!(node.gc_safe_point() > 0, "GC never propagated to {:?}", node.id());
+            // The GC safe point can never exceed OAT_local of any node.
+            assert!(node.gc_safe_point() <= node.oat_local());
+        }
+    }
+
+    #[test]
+    fn gc_safe_point_respects_active_transactions() {
+        let cluster = Cluster::start(ClusterConfig::test(3));
+        // Node 1 reports an old active transaction at ts=1.
+        cluster.node(NodeId(1)).set_oat_provider(Arc::new(|| Some(1)));
+        for _ in 0..4 {
+            cluster.control_round();
+        }
+        for node in cluster.nodes() {
+            assert!(node.gc_safe_point() <= 1, "GC advanced past an active transaction");
+        }
+    }
+
+    #[test]
+    fn killing_a_non_cm_triggers_reconfiguration_without_clock_disable() {
+        let mut cfg = ClusterConfig::test(4);
+        cfg.lease_expiry = Duration::from_millis(1);
+        let cluster = Cluster::start(cfg);
+        cluster.kill(NodeId(2));
+        std::thread::sleep(Duration::from_millis(3));
+        for _ in 0..4 {
+            cluster.control_round();
+        }
+        let config = cluster.current_config();
+        assert_eq!(config.epoch, 2);
+        assert!(!config.contains(NodeId(2)));
+        assert_eq!(config.cm, NodeId(0));
+        // No clock failover events.
+        let events = cluster.events().snapshot();
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Suspected(n) if n == NodeId(2))));
+        assert!(!events.iter().any(|e| matches!(e.kind, EventKind::ClockDisabled)));
+        // Clocks still enabled everywhere that survived.
+        assert!(cluster.node(NodeId(0)).clock().is_enabled());
+        assert!(cluster.node(NodeId(1)).clock().is_enabled());
+    }
+
+    #[test]
+    fn killing_the_cm_fails_over_the_clock_master() {
+        let mut cfg = ClusterConfig::test(4);
+        cfg.lease_expiry = Duration::from_millis(1);
+        let cluster = Cluster::start(cfg);
+        // Take a timestamp before the failure to check monotonicity across
+        // the failover.
+        let before = cluster.node(NodeId(1)).clock().get_ts(TsMode::StrictWait).0;
+        cluster.kill(NodeId(0));
+        std::thread::sleep(Duration::from_millis(3));
+        for _ in 0..6 {
+            cluster.control_round();
+        }
+        let config = cluster.current_config();
+        assert_eq!(config.epoch, 2);
+        assert!(!config.contains(NodeId(0)));
+        assert_ne!(config.cm, NodeId(0));
+        let events = cluster.events().snapshot();
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::ClockDisabled)));
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::ClockEnabled { .. })));
+        // The new CM serves master time and timestamps remain monotonic.
+        let new_cm = config.cm;
+        assert!(cluster.node(new_cm).clock().is_master());
+        let after = cluster.node(new_cm).clock().get_ts(TsMode::StrictWait).0;
+        assert!(after > before, "global time went backwards across failover");
+        // Survivors re-enabled after syncing with the new master.
+        for &m in &config.members {
+            assert!(cluster.node(m).clock().is_enabled());
+        }
+    }
+
+    #[test]
+    fn primary_failure_promotes_backup_and_rereplicates() {
+        let mut cfg = ClusterConfig::test(4);
+        cfg.lease_expiry = Duration::from_millis(1);
+        let cluster = Cluster::start(cfg);
+        // Region 1's primary is node 1.
+        let region = RegionId(1);
+        assert_eq!(cluster.primary_of(region), Some(NodeId(1)));
+        // Put an object on the primary and both backups (as a commit would).
+        for &replica in &cluster.replicas_of(region) {
+            let r = cluster.node(replica).regions().ensure(region);
+            let addr = r.allocate(64).unwrap();
+            r.slot(addr).unwrap().initialize(7, bytes::Bytes::from_static(b"payload"));
+        }
+        cluster.kill(NodeId(1));
+        std::thread::sleep(Duration::from_millis(3));
+        for _ in 0..4 {
+            cluster.control_round();
+        }
+        let new_primary = cluster.primary_of(region).unwrap();
+        assert_ne!(new_primary, NodeId(1));
+        let events = cluster.events().snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RegionPromoted { region: r, .. } if r == region)));
+        // Wait for re-replication to finish.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            if cluster
+                .events()
+                .snapshot()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::RereplicationComplete))
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let replicas = cluster.replicas_of(region);
+        assert_eq!(replicas.len(), 3, "replication factor not restored: {replicas:?}");
+        assert!(!replicas.contains(&NodeId(1)));
+        // The new backup received the data.
+        let new_backup = *replicas.last().unwrap();
+        let replica = cluster.node(new_backup).regions().ensure(region);
+        let (total, free) = replica.occupancy();
+        assert!(total > free, "no objects copied to the new backup");
+    }
+
+    #[test]
+    fn concurrent_reconfigurations_do_not_conflict() {
+        let mut cfg = ClusterConfig::test(5);
+        cfg.lease_expiry = Duration::from_millis(1);
+        let cluster = Cluster::start(cfg);
+        cluster.kill(NodeId(3));
+        cluster.kill(NodeId(4));
+        std::thread::sleep(Duration::from_millis(3));
+        for _ in 0..6 {
+            cluster.control_round();
+        }
+        let config = cluster.current_config();
+        assert!(!config.contains(NodeId(3)));
+        assert!(!config.contains(NodeId(4)));
+        assert!(config.members.len() == 3);
+    }
+}

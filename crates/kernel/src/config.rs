@@ -1,0 +1,115 @@
+//! Configurations and the external CAS store (the ZooKeeper stand-in).
+
+use farm_net::NodeId;
+use parking_lot::Mutex;
+
+/// One configuration: a unique, monotonically increasing sequence number,
+/// the member set, and the configuration manager (which is also the clock
+/// master in FaRMv2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigRecord {
+    /// Sequence number; each successful change increments it by one.
+    pub epoch: u64,
+    /// Members of the configuration, sorted by node id.
+    pub members: Vec<NodeId>,
+    /// The configuration manager / clock master.
+    pub cm: NodeId,
+}
+
+impl ConfigRecord {
+    /// Whether `node` is a member of this configuration.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+}
+
+/// Linearizable compare-and-swap storage for the current configuration.
+///
+/// The paper stores configurations in ZooKeeper and changes them with an
+/// atomic compare-and-swap that increments the sequence number. Inside one
+/// process a mutex-protected record provides the same semantics; partitions
+/// of the *data* network do not affect reachability of this store, matching
+/// the paper's assumption that a majority partition can still update
+/// ZooKeeper.
+#[derive(Debug)]
+pub struct ConfigStore {
+    current: Mutex<ConfigRecord>,
+}
+
+/// Error returned when a compare-and-swap loses the race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasConflict {
+    /// The configuration that is actually current.
+    pub current: ConfigRecord,
+}
+
+impl ConfigStore {
+    /// Creates the store with an initial configuration of epoch 1.
+    pub fn new(mut members: Vec<NodeId>, cm: NodeId) -> Self {
+        members.sort();
+        members.dedup();
+        assert!(members.contains(&cm), "CM must be a member");
+        ConfigStore { current: Mutex::new(ConfigRecord { epoch: 1, members, cm }) }
+    }
+
+    /// Reads the current configuration.
+    pub fn read(&self) -> ConfigRecord {
+        self.current.lock().clone()
+    }
+
+    /// Atomically installs a new configuration if the current epoch is still
+    /// `expected_epoch`. The new configuration gets epoch `expected_epoch+1`.
+    pub fn compare_and_swap(
+        &self,
+        expected_epoch: u64,
+        mut new_members: Vec<NodeId>,
+        new_cm: NodeId,
+    ) -> Result<ConfigRecord, CasConflict> {
+        new_members.sort();
+        new_members.dedup();
+        assert!(new_members.contains(&new_cm), "new CM must be a member");
+        let mut cur = self.current.lock();
+        if cur.epoch != expected_epoch {
+            return Err(CasConflict { current: cur.clone() });
+        }
+        *cur = ConfigRecord { epoch: expected_epoch + 1, members: new_members, cm: new_cm };
+        Ok(cur.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn initial_config_has_epoch_one() {
+        let store = ConfigStore::new(nodes(&[2, 0, 1, 1]), NodeId(0));
+        let c = store.read();
+        assert_eq!(c.epoch, 1);
+        assert_eq!(c.members, nodes(&[0, 1, 2]));
+        assert_eq!(c.cm, NodeId(0));
+        assert!(c.contains(NodeId(1)));
+        assert!(!c.contains(NodeId(9)));
+    }
+
+    #[test]
+    fn cas_succeeds_once_per_epoch() {
+        let store = ConfigStore::new(nodes(&[0, 1, 2]), NodeId(0));
+        let next = store.compare_and_swap(1, nodes(&[1, 2]), NodeId(1)).unwrap();
+        assert_eq!(next.epoch, 2);
+        assert_eq!(next.cm, NodeId(1));
+        // A competing change based on the stale epoch fails.
+        let err = store.compare_and_swap(1, nodes(&[0, 2]), NodeId(2)).unwrap_err();
+        assert_eq!(err.current.epoch, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "CM must be a member")]
+    fn cm_must_be_member() {
+        let _ = ConfigStore::new(nodes(&[0, 1]), NodeId(5));
+    }
+}

@@ -1,0 +1,207 @@
+//! Region placement: which machine is primary and which are backups.
+
+use std::collections::HashMap;
+
+use farm_memory::RegionId;
+use farm_net::NodeId;
+
+/// The replica set of one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionAssignment {
+    /// The primary replica's machine.
+    pub primary: NodeId,
+    /// Backup replicas' machines, in order.
+    pub backups: Vec<NodeId>,
+}
+
+impl RegionAssignment {
+    /// All machines holding a replica (primary first).
+    pub fn replicas(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.backups.len());
+        v.push(self.primary);
+        v.extend_from_slice(&self.backups);
+        v
+    }
+
+    /// Whether `node` holds any replica of the region.
+    pub fn involves(&self, node: NodeId) -> bool {
+        self.primary == node || self.backups.contains(&node)
+    }
+}
+
+/// The cluster-wide placement map.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    assignments: HashMap<RegionId, RegionAssignment>,
+}
+
+impl Placement {
+    /// Builds the initial placement: `regions_per_node * nodes.len()` regions,
+    /// region `i` having node `i % n` as primary and the next
+    /// `replication - 1` nodes (mod n) as backups. This mirrors FaRM's
+    /// symmetric sharding where every machine is primary for some shards and
+    /// backup for others, which is how reads are load-balanced (Section 4.2).
+    pub fn initial(nodes: &[NodeId], regions_per_node: usize, replication: usize) -> Self {
+        assert!(!nodes.is_empty());
+        assert!(replication >= 1 && replication <= nodes.len());
+        let mut assignments = HashMap::new();
+        let n = nodes.len();
+        let total_regions = regions_per_node * n;
+        for r in 0..total_regions {
+            let primary = nodes[r % n];
+            let backups: Vec<NodeId> =
+                (1..replication).map(|k| nodes[(r + k) % n]).collect();
+            assignments.insert(RegionId(r as u16), RegionAssignment { primary, backups });
+        }
+        Placement { assignments }
+    }
+
+    /// All region ids, sorted.
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut v: Vec<_> = self.assignments.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The assignment of one region.
+    pub fn assignment(&self, region: RegionId) -> Option<&RegionAssignment> {
+        self.assignments.get(&region)
+    }
+
+    /// Regions whose primary is `node`, sorted.
+    pub fn primaries_of(&self, node: NodeId) -> Vec<RegionId> {
+        let mut v: Vec<_> = self
+            .assignments
+            .iter()
+            .filter(|(_, a)| a.primary == node)
+            .map(|(r, _)| *r)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Removes a failed node from every assignment, promoting the first
+    /// surviving backup where it was primary. Returns the list of
+    /// `(region, new_primary)` promotions performed.
+    ///
+    /// Regions that lose *all* replicas are left unassigned (data loss), which
+    /// the initial placement's replication factor is chosen to avoid for the
+    /// failure counts exercised in the evaluation.
+    pub fn remove_node(&mut self, failed: NodeId) -> Vec<(RegionId, NodeId)> {
+        let mut promotions = Vec::new();
+        for (region, a) in self.assignments.iter_mut() {
+            if a.primary == failed {
+                a.backups.retain(|b| *b != failed);
+                if let Some(new_primary) = a.backups.first().copied() {
+                    a.primary = new_primary;
+                    a.backups.remove(0);
+                    promotions.push((*region, new_primary));
+                }
+            } else {
+                a.backups.retain(|b| *b != failed);
+            }
+        }
+        promotions.sort();
+        promotions
+    }
+
+    /// Regions that currently have fewer than `replication` replicas, with
+    /// their current replica counts.
+    pub fn under_replicated(&self, replication: usize) -> Vec<(RegionId, usize)> {
+        let mut v: Vec<_> = self
+            .assignments
+            .iter()
+            .filter_map(|(r, a)| {
+                let count = 1 + a.backups.len();
+                (count < replication).then_some((*r, count))
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Adds `node` as an additional backup of `region` (end of
+    /// re-replication for that region).
+    pub fn add_backup(&mut self, region: RegionId, node: NodeId) {
+        if let Some(a) = self.assignments.get_mut(&region) {
+            if !a.involves(node) {
+                a.backups.push(node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn initial_placement_spreads_primaries() {
+        let p = Placement::initial(&nodes(4), 2, 3);
+        assert_eq!(p.regions().len(), 8);
+        for node in nodes(4) {
+            assert_eq!(p.primaries_of(node).len(), 2);
+        }
+        let a = p.assignment(RegionId(1)).unwrap();
+        assert_eq!(a.primary, NodeId(1));
+        assert_eq!(a.backups, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(a.replicas(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(a.involves(NodeId(3)));
+        assert!(!a.involves(NodeId(0)));
+    }
+
+    #[test]
+    fn remove_node_promotes_backups() {
+        let mut p = Placement::initial(&nodes(3), 1, 3);
+        let promotions = p.remove_node(NodeId(0));
+        // Node 0 was primary of region 0; first backup (node 1) is promoted.
+        assert_eq!(promotions, vec![(RegionId(0), NodeId(1))]);
+        let a = p.assignment(RegionId(0)).unwrap();
+        assert_eq!(a.primary, NodeId(1));
+        assert_eq!(a.backups, vec![NodeId(2)]);
+        // Other regions simply lose node 0 as a backup.
+        let under = p.under_replicated(3);
+        assert_eq!(under.len(), 3);
+    }
+
+    #[test]
+    fn add_backup_restores_replication() {
+        let mut p = Placement::initial(&nodes(4), 1, 3);
+        p.remove_node(NodeId(0));
+        for (region, _) in p.under_replicated(3) {
+            p.add_backup(region, NodeId(3));
+        }
+        // Region already containing node 3 keeps a single copy of it.
+        for region in p.regions() {
+            let a = p.assignment(region).unwrap();
+            let mut reps = a.replicas();
+            reps.sort();
+            reps.dedup();
+            assert_eq!(reps.len(), a.replicas().len(), "duplicate replica in {region:?}");
+        }
+        // The regions that could take node 3 as a new backup are full again;
+        // those whose survivors already included node 3 stay under-replicated
+        // until another node is available.
+        for (region, count) in p.under_replicated(3) {
+            let a = p.assignment(region).unwrap();
+            assert!(a.involves(NodeId(3)), "{region:?} with {count} replicas should contain n3");
+        }
+    }
+
+    #[test]
+    fn double_failure_still_keeps_one_replica_with_three_way_replication() {
+        let mut p = Placement::initial(&nodes(5), 2, 3);
+        p.remove_node(NodeId(1));
+        p.remove_node(NodeId(2));
+        for region in p.regions() {
+            let a = p.assignment(region).unwrap();
+            assert!(!a.replicas().is_empty());
+            assert!(!a.involves(NodeId(1)));
+            assert!(!a.involves(NodeId(2)));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Regions and the per-machine region store.
+//!
+//! A region is the unit of replication: all objects in a region share the
+//! same primary and backup machines (Section 3.1). Each machine keeps a
+//! [`RegionStore`] holding the replicas (primary or backup) it hosts. Which
+//! machine is primary for which region is decided by the control plane
+//! (`farm-kernel`); this crate only manages the memory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::addr::{Addr, RegionId};
+use crate::object::ObjectSlot;
+use crate::slab::Slab;
+use crate::size_class_for;
+
+/// Sizing parameters for regions and slabs. The paper uses 2 GB regions and
+/// 1 MB slabs; the defaults here are scaled down so tests and laptop-scale
+/// benchmarks do not need gigabytes of memory, but the ratios are preserved
+/// and everything is configurable.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionConfig {
+    /// Bytes of object payload per slab (determines slots per slab given the
+    /// size class).
+    pub slab_bytes: usize,
+    /// Maximum number of slabs per region.
+    pub max_slabs: u16,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig { slab_bytes: 64 * 1024, max_slabs: 1024 }
+    }
+}
+
+impl RegionConfig {
+    /// A tiny configuration for unit tests.
+    pub fn small() -> Self {
+        RegionConfig { slab_bytes: 4 * 1024, max_slabs: 64 }
+    }
+}
+
+/// Errors from region-level allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The requested object size exceeds the largest size class.
+    ObjectTooLarge(usize),
+    /// The region is out of slabs and every slab of the class is full.
+    OutOfMemory,
+    /// The address does not name an existing slab/slot.
+    BadAddress(Addr),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::ObjectTooLarge(s) => write!(f, "object of {s} bytes exceeds max size class"),
+            RegionError::OutOfMemory => write!(f, "region out of memory"),
+            RegionError::BadAddress(a) => write!(f, "bad address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// One replica of a region: a set of slabs.
+pub struct Region {
+    id: RegionId,
+    config: RegionConfig,
+    slabs: RwLock<Vec<Arc<Slab>>>,
+}
+
+impl Region {
+    /// Creates an empty region.
+    pub fn new(id: RegionId, config: RegionConfig) -> Self {
+        Region { id, config, slabs: RwLock::new(Vec::new()) }
+    }
+
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Number of slabs currently carved out of the region.
+    pub fn slab_count(&self) -> usize {
+        self.slabs.read().len()
+    }
+
+    /// Returns the slab at `index`, if it exists.
+    pub fn slab(&self, index: u16) -> Option<Arc<Slab>> {
+        self.slabs.read().get(index as usize).cloned()
+    }
+
+    /// Allocates a slot for an object of `size` bytes, creating a new slab of
+    /// the appropriate size class if necessary. Returns the address.
+    ///
+    /// This is the primary-side allocation path; the allocating transaction's
+    /// coordinator calls it during execution and the slot becomes visible to
+    /// readers only when the transaction commits and initializes the header.
+    pub fn allocate(&self, size: usize) -> Result<Addr, RegionError> {
+        let class = size_class_for(size).ok_or(RegionError::ObjectTooLarge(size))?;
+        // Fast path: find an existing slab of this class with space.
+        {
+            let slabs = self.slabs.read();
+            for (i, slab) in slabs.iter().enumerate() {
+                if slab.object_size() == class {
+                    if let Ok(slot) = slab.allocate() {
+                        return Ok(Addr { region: self.id, slab: i as u16, slot });
+                    }
+                }
+            }
+        }
+        // Slow path: create a new slab.
+        let mut slabs = self.slabs.write();
+        if slabs.len() >= self.config.max_slabs as usize {
+            // One more attempt in case another thread created a slab while we
+            // were waiting for the write lock.
+            for (i, slab) in slabs.iter().enumerate() {
+                if slab.object_size() == class {
+                    if let Ok(slot) = slab.allocate() {
+                        return Ok(Addr { region: self.id, slab: i as u16, slot });
+                    }
+                }
+            }
+            return Err(RegionError::OutOfMemory);
+        }
+        let capacity = (self.config.slab_bytes / class).max(1);
+        let slab = Arc::new(Slab::new(class, capacity));
+        let slot = slab.allocate().expect("fresh slab has space");
+        let index = slabs.len() as u16;
+        slabs.push(slab);
+        Ok(Addr { region: self.id, slab: index, slot })
+    }
+
+    /// Ensures that slab `index` exists with the given size class, creating
+    /// intermediate empty slabs if needed. Backups use this to mirror the
+    /// primary's slab layout when applying replicated writes.
+    pub fn ensure_slab(&self, index: u16, object_size: usize) -> Arc<Slab> {
+        {
+            let slabs = self.slabs.read();
+            if let Some(s) = slabs.get(index as usize) {
+                return Arc::clone(s);
+            }
+        }
+        let mut slabs = self.slabs.write();
+        while slabs.len() <= index as usize {
+            let capacity = (self.config.slab_bytes / object_size).max(1);
+            slabs.push(Arc::new(Slab::new(object_size, capacity)));
+        }
+        Arc::clone(&slabs[index as usize])
+    }
+
+    /// Frees the slot named by `addr` in the allocator (bitmap); the header
+    /// must already have been cleared by the committing transaction.
+    pub fn free(&self, addr: Addr) -> Result<(), RegionError> {
+        let slab = self.slab(addr.slab).ok_or(RegionError::BadAddress(addr))?;
+        slab.free(addr.slot).map_err(|_| RegionError::BadAddress(addr))
+    }
+
+    /// Resolves an address to its object slot.
+    pub fn slot(&self, addr: Addr) -> Result<Arc<ObjectSlot>, RegionError> {
+        let slab = self.slab(addr.slab).ok_or(RegionError::BadAddress(addr))?;
+        slab.slot(addr.slot).map_err(|_| RegionError::BadAddress(addr))
+    }
+
+    /// Scans all slabs and rebuilds their free bitmaps from object headers
+    /// (backup promotion, Section 4.8).
+    pub fn rebuild_allocation_state(&self) {
+        for slab in self.slabs.read().iter() {
+            slab.rebuild_bitmap_from_headers();
+        }
+    }
+
+    /// Total and free slot counts across all slabs (for reporting).
+    pub fn occupancy(&self) -> (usize, usize) {
+        let slabs = self.slabs.read();
+        let total = slabs.iter().map(|s| s.capacity()).sum();
+        let free = slabs.iter().map(|s| s.free_slots()).sum();
+        (total, free)
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (total, free) = self.occupancy();
+        f.debug_struct("Region")
+            .field("id", &self.id)
+            .field("slabs", &self.slab_count())
+            .field("slots_total", &total)
+            .field("slots_free", &free)
+            .finish()
+    }
+}
+
+/// The set of region replicas hosted by one machine.
+#[derive(Default)]
+pub struct RegionStore {
+    config: RegionConfig,
+    regions: RwLock<HashMap<RegionId, Arc<Region>>>,
+}
+
+impl RegionStore {
+    /// Creates an empty store with the given sizing configuration.
+    pub fn new(config: RegionConfig) -> Self {
+        RegionStore { config, regions: RwLock::new(HashMap::new()) }
+    }
+
+    /// Returns the replica of `id`, creating it if this machine does not host
+    /// one yet (e.g. when it becomes a new backup during re-replication).
+    pub fn ensure(&self, id: RegionId) -> Arc<Region> {
+        {
+            let map = self.regions.read();
+            if let Some(r) = map.get(&id) {
+                return Arc::clone(r);
+            }
+        }
+        let mut map = self.regions.write();
+        Arc::clone(map.entry(id).or_insert_with(|| Arc::new(Region::new(id, self.config))))
+    }
+
+    /// Returns the replica of `id`, if hosted here.
+    pub fn get(&self, id: RegionId) -> Option<Arc<Region>> {
+        self.regions.read().get(&id).cloned()
+    }
+
+    /// Drops the replica of `id` (the machine stops hosting the region).
+    pub fn drop_region(&self, id: RegionId) {
+        self.regions.write().remove(&id);
+    }
+
+    /// All region ids hosted here.
+    pub fn hosted(&self) -> Vec<RegionId> {
+        let mut v: Vec<_> = self.regions.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for RegionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionStore").field("hosted", &self.hosted()).finish()
+    }
+}
+
+pub use RegionError as Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn allocate_creates_slabs_by_size_class() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let a = r.allocate(10).unwrap(); // class 64
+        let b = r.allocate(100).unwrap(); // class 128
+        let c = r.allocate(20).unwrap(); // class 64 again, same slab
+        assert_eq!(a.slab, c.slab);
+        assert_ne!(a.slab, b.slab);
+        assert_eq!(r.slab_count(), 2);
+    }
+
+    #[test]
+    fn allocate_rejects_oversized_objects() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        assert_eq!(r.allocate(1 << 20), Err(RegionError::ObjectTooLarge(1 << 20)));
+    }
+
+    #[test]
+    fn free_returns_slot_to_allocator() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let a = r.allocate(64).unwrap();
+        let (_, free_before) = r.occupancy();
+        r.free(a).unwrap();
+        let (_, free_after) = r.occupancy();
+        assert_eq!(free_after, free_before + 1);
+    }
+
+    #[test]
+    fn slot_resolution_and_bad_addresses() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let a = r.allocate(64).unwrap();
+        let slot = r.slot(a).unwrap();
+        slot.initialize(3, Bytes::from_static(b"x"));
+        let bad = Addr { region: RegionId(1), slab: 99, slot: 0 };
+        assert!(r.slot(bad).is_err());
+        assert!(r.free(bad).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_when_slabs_exhausted() {
+        let cfg = RegionConfig { slab_bytes: 64, max_slabs: 1 };
+        let r = Region::new(RegionId(1), cfg);
+        let _a = r.allocate(64).unwrap(); // only slot of only slab
+        assert_eq!(r.allocate(64), Err(RegionError::OutOfMemory));
+    }
+
+    #[test]
+    fn ensure_slab_mirrors_layout_for_backups() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let s = r.ensure_slab(3, 128);
+        assert_eq!(s.object_size(), 128);
+        assert_eq!(r.slab_count(), 4);
+        // Existing slab is returned as-is.
+        let again = r.ensure_slab(3, 64);
+        assert_eq!(again.object_size(), 128);
+    }
+
+    #[test]
+    fn region_store_ensures_and_drops() {
+        let store = RegionStore::new(RegionConfig::small());
+        assert!(store.get(RegionId(5)).is_none());
+        let r = store.ensure(RegionId(5));
+        assert_eq!(r.id(), RegionId(5));
+        assert!(store.get(RegionId(5)).is_some());
+        assert_eq!(store.hosted(), vec![RegionId(5)]);
+        store.drop_region(RegionId(5));
+        assert!(store.get(RegionId(5)).is_none());
+    }
+
+    #[test]
+    fn concurrent_allocations_get_distinct_addresses() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let r = Arc::new(Region::new(RegionId(1), RegionConfig::default()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || (0..200).map(|_| r.allocate(64).unwrap()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for addr in h.join().unwrap() {
+                assert!(all.insert(addr), "duplicate address {addr}");
+            }
+        }
+        assert_eq!(all.len(), 1600);
+    }
+}

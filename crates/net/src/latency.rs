@@ -1,0 +1,102 @@
+//! Optional latency injection for one-sided verbs and RPCs.
+//!
+//! Inside a single process a "remote" memory access costs nanoseconds, while
+//! a real RDMA read within a data center costs a couple of microseconds and
+//! an RPC a few more. For experiments where the latency *composition* matters
+//! (e.g. the throughput/latency curve of Figure 13) the harness can configure
+//! a [`LatencyModel`]; for raw-throughput experiments it uses
+//! [`LatencyModel::zero`], which compiles down to a no-op.
+
+use std::time::Duration;
+
+/// Fixed per-verb latencies injected by busy-waiting (for sub-10µs values)
+/// or sleeping (for larger values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyModel {
+    /// Latency of a one-sided RDMA read, in nanoseconds.
+    pub rdma_read_ns: u64,
+    /// Latency of a one-sided RDMA write (until NIC ack), in nanoseconds.
+    pub rdma_write_ns: u64,
+    /// Latency of a two-sided RPC (one way), in nanoseconds.
+    pub rpc_ns: u64,
+}
+
+impl LatencyModel {
+    /// No injected latency.
+    pub fn zero() -> Self {
+        LatencyModel::default()
+    }
+
+    /// A model loosely calibrated to the paper's testbed: ~2.5 µs one-sided
+    /// reads, ~3 µs writes-to-ack, ~7 µs RPC one-way under load.
+    pub fn datacenter() -> Self {
+        LatencyModel { rdma_read_ns: 2_500, rdma_write_ns: 3_000, rpc_ns: 7_000 }
+    }
+
+    /// Injects the read latency.
+    #[inline]
+    pub fn apply_read(&self) {
+        busy_wait(self.rdma_read_ns);
+    }
+
+    /// Injects the write latency.
+    #[inline]
+    pub fn apply_write(&self) {
+        busy_wait(self.rdma_write_ns);
+    }
+
+    /// Injects the RPC latency.
+    #[inline]
+    pub fn apply_rpc(&self) {
+        busy_wait(self.rpc_ns);
+    }
+}
+
+/// Busy-waits for small durations, sleeps for large ones, does nothing for 0.
+#[inline]
+fn busy_wait(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    if ns >= 100_000 {
+        std::thread::sleep(Duration::from_nanos(ns));
+        return;
+    }
+    let start = std::time::Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        let start = std::time::Instant::now();
+        for _ in 0..10_000 {
+            m.apply_read();
+            m.apply_write();
+            m.apply_rpc();
+        }
+        // 30k no-op applications should take well under 10 ms.
+        assert!(start.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn nonzero_model_actually_waits() {
+        let m = LatencyModel { rdma_read_ns: 200_000, rdma_write_ns: 0, rpc_ns: 0 };
+        let start = std::time::Instant::now();
+        m.apply_read();
+        assert!(start.elapsed() >= Duration::from_micros(150));
+    }
+
+    #[test]
+    fn datacenter_model_has_expected_ordering() {
+        let m = LatencyModel::datacenter();
+        assert!(m.rdma_read_ns < m.rpc_ns);
+        assert!(m.rdma_write_ns < m.rpc_ns);
+    }
+}

@@ -1,0 +1,148 @@
+//! # farm-net — simulated RDMA cluster substrate
+//!
+//! FaRMv2 runs on a cluster of machines connected by an RDMA network and
+//! relies heavily on **one-sided** RDMA verbs: reads and writes that are
+//! served entirely by the remote NIC without involving the remote CPU. This
+//! reproduction has no RDMA hardware, so this crate provides an in-process
+//! substitute with the same *structural* properties:
+//!
+//! * Every simulated machine ([`NodeId`]) has an **inbox** of messages served
+//!   by its own worker threads — this models the two-sided RPC path (lock
+//!   requests, lease renewals, clock synchronization, reconfiguration).
+//! * One-sided operations are *not* routed through the inbox at all: the
+//!   caller performs a direct load/store on the target machine's memory
+//!   (owned by `farm-memory` and shared via `Arc`), mirroring the fact that
+//!   an RDMA NIC bypasses the remote CPU. This crate supplies the
+//!   [`OneSidedMeter`] used to account for those verbs and to inject
+//!   configurable latency so that protocol-level latency compositions remain
+//!   realistic.
+//! * A [`FaultPlane`] supports killing machines and partitioning the network,
+//!   which the kernel's failure detector and reconfiguration protocol react
+//!   to.
+//!
+//! The crate is deliberately independent of the message types used above it:
+//! [`Network`] is generic over the message enum defined by `farm-kernel` /
+//! `farm-core`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod fault;
+mod latency;
+mod network;
+mod stats;
+mod worker;
+
+pub use fault::FaultPlane;
+pub use latency::LatencyModel;
+pub use network::{Envelope, NetError, Network, NodeInbox};
+pub use stats::{NetStats, NetStatsSnapshot, Verb};
+pub use worker::WorkerPool;
+
+use std::fmt;
+
+/// Identifier of a simulated machine in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The numeric index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Accounts for one-sided RDMA verbs (reads/writes served by the "NIC") and
+/// optionally injects latency to model the wire.
+///
+/// The transaction engine calls [`OneSidedMeter::read`] / [`OneSidedMeter::write`]
+/// around every direct access to remote memory so that message counts and
+/// bytes match what the real protocol would put on the network.
+pub struct OneSidedMeter {
+    stats: std::sync::Arc<NetStats>,
+    latency: LatencyModel,
+}
+
+impl OneSidedMeter {
+    /// Creates a meter feeding `stats`, injecting latency per `latency`.
+    pub fn new(stats: std::sync::Arc<NetStats>, latency: LatencyModel) -> Self {
+        OneSidedMeter { stats, latency }
+    }
+
+    /// Accounts for a one-sided RDMA read of `bytes` bytes and injects the
+    /// configured read latency.
+    #[inline]
+    pub fn read(&self, bytes: usize) {
+        self.stats.record(Verb::RdmaRead, bytes);
+        self.latency.apply_read();
+    }
+
+    /// Accounts for a one-sided RDMA write of `bytes` bytes and injects the
+    /// configured write latency.
+    #[inline]
+    pub fn write(&self, bytes: usize) {
+        self.stats.record(Verb::RdmaWrite, bytes);
+        self.latency.apply_write();
+    }
+
+    /// Accounts for the hardware acknowledgement of a previously issued RDMA
+    /// write (the coordinator waits for NIC acks of COMMIT-BACKUP messages).
+    #[inline]
+    pub fn ack(&self) {
+        self.stats.record(Verb::HardwareAck, 0);
+    }
+
+    /// The underlying statistics sink.
+    pub fn stats(&self) -> &std::sync::Arc<NetStats> {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(format!("{n:?}"), "n7");
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+
+    #[test]
+    fn one_sided_meter_counts_verbs() {
+        let stats = Arc::new(NetStats::default());
+        let meter = OneSidedMeter::new(stats.clone(), LatencyModel::zero());
+        meter.read(64);
+        meter.read(128);
+        meter.write(256);
+        meter.ack();
+        let snap = stats.snapshot();
+        assert_eq!(snap.count(Verb::RdmaRead), 2);
+        assert_eq!(snap.bytes(Verb::RdmaRead), 192);
+        assert_eq!(snap.count(Verb::RdmaWrite), 1);
+        assert_eq!(snap.count(Verb::HardwareAck), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Message transport between simulated machines.
+//!
+//! Each node registers an inbox; the [`Network`] routes messages to inboxes,
+//! applying fault filtering (crashes, partitions), latency injection and
+//! statistics. Replies are implemented by embedding reply channels in the
+//! message type, which is what in-process "RPC over RDMA writes" boils down
+//! to here.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+
+use crate::{FaultPlane, LatencyModel, NetStats, NodeId, Verb};
+
+/// Errors produced when sending a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination is not registered with the network.
+    UnknownNode(NodeId),
+    /// The destination (or the sender) is crashed or partitioned away.
+    Unreachable {
+        /// Sender of the failed message.
+        from: NodeId,
+        /// Intended destination.
+        to: NodeId,
+    },
+    /// The destination inbox has been closed (its worker pool shut down).
+    InboxClosed(NodeId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Unreachable { from, to } => write!(f, "{from} cannot reach {to}"),
+            NetError::InboxClosed(n) => write!(f, "inbox of {n} is closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message in flight, tagged with its sender.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The destination node.
+    pub to: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// The receiving end of a node's inbox, to be drained by a
+/// [`WorkerPool`](crate::WorkerPool) or polled directly in tests.
+pub type NodeInbox<M> = Receiver<Envelope<M>>;
+
+struct Registry<M> {
+    inboxes: Vec<Option<Sender<Envelope<M>>>>,
+}
+
+/// The cluster message fabric, generic over the protocol message type `M`.
+pub struct Network<M> {
+    registry: RwLock<Registry<M>>,
+    faults: Arc<FaultPlane>,
+    stats: Arc<NetStats>,
+    latency: LatencyModel,
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates a network with the given fault plane, statistics sink and RPC
+    /// latency model.
+    pub fn new(faults: Arc<FaultPlane>, stats: Arc<NetStats>, latency: LatencyModel) -> Self {
+        Network {
+            registry: RwLock::new(Registry { inboxes: Vec::new() }),
+            faults,
+            stats,
+            latency,
+        }
+    }
+
+    /// Creates a network with no faults, fresh statistics and zero latency.
+    pub fn simple() -> Self {
+        Self::new(Arc::new(FaultPlane::new()), Arc::new(NetStats::default()), LatencyModel::zero())
+    }
+
+    /// Registers a node and returns the receiving end of its inbox.
+    /// Registering the same node twice replaces its inbox (used when a node
+    /// is restarted after a crash).
+    pub fn register(&self, node: NodeId) -> NodeInbox<M> {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.write();
+        let idx = node.index();
+        if reg.inboxes.len() <= idx {
+            reg.inboxes.resize_with(idx + 1, || None);
+        }
+        reg.inboxes[idx] = Some(tx);
+        rx
+    }
+
+    /// Deregisters a node, closing its inbox.
+    pub fn deregister(&self, node: NodeId) {
+        let mut reg = self.registry.write();
+        if let Some(slot) = reg.inboxes.get_mut(node.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Sends `msg` from `from` to `to`, applying fault filtering, latency and
+    /// statistics. The paper's RPCs are RDMA-write based; we count them under
+    /// [`Verb::Rpc`].
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), NetError> {
+        if !self.faults.reachable(from, to) {
+            return Err(NetError::Unreachable { from, to });
+        }
+        self.latency.apply_rpc();
+        self.stats.record(Verb::Rpc, std::mem::size_of::<M>());
+        let reg = self.registry.read();
+        let sender = reg
+            .inboxes
+            .get(to.index())
+            .and_then(|s| s.as_ref())
+            .ok_or(NetError::UnknownNode(to))?;
+        match sender.try_send(Envelope { from, to, msg }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(NetError::InboxClosed(to)),
+            Err(TrySendError::Full(_)) => unreachable!("unbounded channel cannot be full"),
+        }
+    }
+
+    /// Broadcasts `msg` to every node in `targets` except `from` itself.
+    /// Returns the nodes that could not be reached.
+    pub fn broadcast(&self, from: NodeId, targets: &[NodeId], msg: M) -> Vec<NodeId>
+    where
+        M: Clone,
+    {
+        let mut failed = Vec::new();
+        for &t in targets {
+            if t == from {
+                continue;
+            }
+            if self.send(from, t, msg.clone()).is_err() {
+                failed.push(t);
+            }
+        }
+        failed
+    }
+
+    /// The shared fault plane.
+    pub fn faults(&self) -> &Arc<FaultPlane> {
+        &self.faults
+    }
+
+    /// The shared statistics sink.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// The RPC latency model.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Nodes currently registered (with open inboxes).
+    pub fn registered_nodes(&self) -> Vec<NodeId> {
+        let reg = self.registry.read();
+        reg.inboxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_receive_between_nodes() {
+        let net: Network<String> = Network::simple();
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), "hello".to_string()).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.to, NodeId(1));
+        assert_eq!(env.msg, "hello");
+        assert_eq!(net.stats().snapshot().count(Verb::Rpc), 1);
+    }
+
+    #[test]
+    fn send_to_unknown_node_fails() {
+        let net: Network<u32> = Network::simple();
+        net.register(NodeId(0));
+        assert_eq!(net.send(NodeId(0), NodeId(9), 1), Err(NetError::UnknownNode(NodeId(9))));
+    }
+
+    #[test]
+    fn send_to_killed_node_fails() {
+        let net: Network<u32> = Network::simple();
+        net.register(NodeId(0));
+        net.register(NodeId(1));
+        net.faults().kill(NodeId(1));
+        assert!(matches!(
+            net.send(NodeId(0), NodeId(1), 5),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn deregistered_inbox_reports_closed_or_unknown() {
+        let net: Network<u32> = Network::simple();
+        net.register(NodeId(0));
+        let rx = net.register(NodeId(1));
+        drop(rx);
+        net.deregister(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), 5).is_err());
+    }
+
+    #[test]
+    fn broadcast_skips_self_and_reports_failures() {
+        let net: Network<u8> = Network::simple();
+        net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        let c = net.register(NodeId(2));
+        net.faults().kill(NodeId(2));
+        let failed =
+            net.broadcast(NodeId(0), &[NodeId(0), NodeId(1), NodeId(2)], 7);
+        assert_eq!(failed, vec![NodeId(2)]);
+        assert_eq!(b.try_recv().unwrap().msg, 7);
+        assert!(c.try_recv().is_err());
+    }
+
+    #[test]
+    fn registered_nodes_lists_open_inboxes() {
+        let net: Network<u8> = Network::simple();
+        net.register(NodeId(0));
+        net.register(NodeId(2));
+        assert_eq!(net.registered_nodes(), vec![NodeId(0), NodeId(2)]);
+        net.deregister(NodeId(0));
+        assert_eq!(net.registered_nodes(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn reregistering_replaces_inbox() {
+        let net: Network<u8> = Network::simple();
+        let old = net.register(NodeId(0));
+        drop(old);
+        let newer = net.register(NodeId(0));
+        net.register(NodeId(1));
+        net.send(NodeId(1), NodeId(0), 9).unwrap();
+        assert_eq!(newer.try_recv().unwrap().msg, 9);
+    }
+}

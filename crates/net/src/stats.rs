@@ -1,0 +1,144 @@
+//! Per-node network statistics: message counts and bytes by verb.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kinds of network operations the protocol issues. The split mirrors
+/// the cost discussion in Sections 3.2 and 4.2 of the paper: one-sided reads
+/// and writes are served by the remote NIC; RPCs consume remote CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// One-sided RDMA read (object reads, read validation).
+    RdmaRead,
+    /// One-sided RDMA write (COMMIT-BACKUP, COMMIT-PRIMARY records, RPC
+    /// transports in FaRM are also RDMA-write based, but we count those as
+    /// `Rpc`).
+    RdmaWrite,
+    /// Hardware (NIC-level) acknowledgement awaited by the sender.
+    HardwareAck,
+    /// Two-sided message processed by the remote CPU (lock requests, lease
+    /// renewals, clock synchronization, reconfiguration, truncation).
+    Rpc,
+}
+
+const VERBS: [Verb; 4] = [Verb::RdmaRead, Verb::RdmaWrite, Verb::HardwareAck, Verb::Rpc];
+
+fn verb_index(v: Verb) -> usize {
+    match v {
+        Verb::RdmaRead => 0,
+        Verb::RdmaWrite => 1,
+        Verb::HardwareAck => 2,
+        Verb::Rpc => 3,
+    }
+}
+
+/// Lock-free counters for one node (or for the whole cluster, depending on
+/// where the instance is placed).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    counts: [AtomicU64; 4],
+    bytes: [AtomicU64; 4],
+}
+
+impl NetStats {
+    /// Records one operation of kind `verb` carrying `bytes` payload bytes.
+    #[inline]
+    pub fn record(&self, verb: Verb, bytes: usize) {
+        let i = verb_index(verb);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (relaxed loads;
+    /// intended for reporting, not for synchronization).
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        let mut snap = NetStatsSnapshot::default();
+        for v in VERBS {
+            let i = verb_index(v);
+            snap.counts[i] = self.counts[i].load(Ordering::Relaxed);
+            snap.bytes[i] = self.bytes[i].load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// Resets all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        for i in 0..4 {
+            self.counts[i].store(0, Ordering::Relaxed);
+            self.bytes[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    counts: [u64; 4],
+    bytes: [u64; 4],
+}
+
+impl NetStatsSnapshot {
+    /// Number of operations of the given verb.
+    pub fn count(&self, verb: Verb) -> u64 {
+        self.counts[verb_index(verb)]
+    }
+
+    /// Total payload bytes of the given verb.
+    pub fn bytes(&self, verb: Verb) -> u64 {
+        self.bytes[verb_index(verb)]
+    }
+
+    /// Total messages across all verbs.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise difference `self - earlier`, for per-interval reporting.
+    pub fn delta(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        let mut out = NetStatsSnapshot::default();
+        for i in 0..4 {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+            out.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = NetStats::default();
+        s.record(Verb::Rpc, 100);
+        s.record(Verb::Rpc, 50);
+        s.record(Verb::RdmaRead, 64);
+        let snap = s.snapshot();
+        assert_eq!(snap.count(Verb::Rpc), 2);
+        assert_eq!(snap.bytes(Verb::Rpc), 150);
+        assert_eq!(snap.count(Verb::RdmaRead), 1);
+        assert_eq!(snap.total_messages(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_earlier_snapshot() {
+        let s = NetStats::default();
+        s.record(Verb::RdmaWrite, 10);
+        let a = s.snapshot();
+        s.record(Verb::RdmaWrite, 20);
+        s.record(Verb::HardwareAck, 0);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.count(Verb::RdmaWrite), 1);
+        assert_eq!(d.bytes(Verb::RdmaWrite), 20);
+        assert_eq!(d.count(Verb::HardwareAck), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = NetStats::default();
+        s.record(Verb::Rpc, 1);
+        s.reset();
+        assert_eq!(s.snapshot().total_messages(), 0);
+    }
+}

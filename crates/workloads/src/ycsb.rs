@@ -1,0 +1,222 @@
+//! YCSB-style key-value workload over a single transactional B-tree
+//! (Sections 5.2 and 5.3, Figures 14 and 15).
+
+use std::sync::Arc;
+
+use farm_core::{Engine, NodeId, TxError, TxOptions};
+use farm_index::BTree;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// Configuration of the YCSB-style workload.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of keys loaded into the B-tree.
+    pub keys: u64,
+    /// Value size in bytes (1 KB in the paper; scaled down by default so the
+    /// in-process store stays small).
+    pub value_size: usize,
+    /// Fraction of single-key operations that are reads (the rest are
+    /// updates). The Figure 14 experiment uses 0.5.
+    pub read_fraction: f64,
+    /// Zipf skew parameter θ for key selection.
+    pub zipf_theta: f64,
+    /// Length of range scans issued by the scan/update mix (Figure 15);
+    /// 0 disables scans.
+    pub scan_length: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { keys: 10_000, value_size: 64, read_fraction: 0.5, zipf_theta: 0.0, scan_length: 0 }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read one key.
+    Read(u64),
+    /// Update one key with a fresh value.
+    Update(u64),
+    /// Scan `len` keys starting at `start`.
+    Scan {
+        /// First key of the scan.
+        start: u64,
+        /// Number of keys to read.
+        len: usize,
+    },
+}
+
+/// The loaded YCSB database: one B-tree spread over the cluster.
+pub struct YcsbDatabase {
+    engine: Arc<Engine>,
+    tree: BTree,
+    config: YcsbConfig,
+    zipf: Zipf,
+}
+
+impl YcsbDatabase {
+    /// Loads `config.keys` keys into a fresh B-tree using transactions
+    /// coordinated round-robin over the cluster's machines.
+    pub fn load(engine: &Arc<Engine>, config: YcsbConfig) -> Result<YcsbDatabase, TxError> {
+        let tree = BTree::create(engine, NodeId(0));
+        let nodes = engine.nodes().len() as u32;
+        let batch = 64;
+        let mut key = 0u64;
+        while key < config.keys {
+            let node = engine.node(NodeId((key / batch as u64 % nodes as u64) as u32));
+            let mut tx = node.begin();
+            for _ in 0..batch {
+                if key >= config.keys {
+                    break;
+                }
+                tree.put(&mut tx, key, &value_for(key, config.value_size))?;
+                key += 1;
+            }
+            tx.commit()?;
+        }
+        let zipf = Zipf::new(config.keys, config.zipf_theta);
+        Ok(YcsbDatabase { engine: Arc::clone(engine), tree, config, zipf })
+    }
+
+    /// The underlying B-tree.
+    pub fn tree(&self) -> &BTree {
+        &self.tree
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Draws the next operation. When `scan_length` is non-zero the mix is
+    /// 50:50 (by keys touched) scans vs single-key updates as in Figure 15;
+    /// otherwise it is the `read_fraction` mix of reads and updates of
+    /// Figure 14.
+    pub fn next_op<R: Rng + ?Sized>(&self, rng: &mut R) -> YcsbOp {
+        if self.config.scan_length > 0 {
+            // Keep the *keys scanned* : *keys updated* ratio at 50:50 — one
+            // scan of length L is balanced by L single-key updates on
+            // average.
+            let p_scan = 1.0 / (1.0 + self.config.scan_length as f64);
+            if rng.gen::<f64>() < p_scan {
+                let max_start = self.config.keys.saturating_sub(self.config.scan_length as u64);
+                let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+                return YcsbOp::Scan { start, len: self.config.scan_length };
+            }
+            return YcsbOp::Update(rng.gen_range(0..self.config.keys));
+        }
+        let key = self.zipf.sample(rng);
+        if rng.gen::<f64>() < self.config.read_fraction {
+            YcsbOp::Read(key)
+        } else {
+            YcsbOp::Update(key)
+        }
+    }
+
+    /// Executes one operation as its own transaction from `node`, returning
+    /// the number of keys successfully touched (0 if the transaction
+    /// aborted).
+    pub fn execute(&self, node: NodeId, op: &YcsbOp, opts: TxOptions) -> Result<usize, TxError> {
+        let engine_node = self.engine.node(node);
+        match op {
+            YcsbOp::Read(key) => {
+                let mut tx = engine_node.begin_with(opts);
+                let _ = self.tree.get(&mut tx, *key)?;
+                tx.commit()?;
+                Ok(1)
+            }
+            YcsbOp::Update(key) => {
+                let mut tx = engine_node.begin_with(opts);
+                self.tree.put(&mut tx, *key, &value_for(*key, self.config.value_size))?;
+                tx.commit()?;
+                Ok(1)
+            }
+            YcsbOp::Scan { start, len } => {
+                let mut tx = engine_node.begin_with(opts);
+                let rows = self.tree.scan(&mut tx, *start, *len)?;
+                tx.commit()?;
+                Ok(rows.len())
+            }
+        }
+    }
+}
+
+fn value_for(key: u64, size: usize) -> Vec<u8> {
+    let mut v = vec![(key % 251) as u8; size.max(8)];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_core::EngineConfig;
+    use farm_kernel::ClusterConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_db(theta: f64, scan_length: usize) -> (Arc<Engine>, YcsbDatabase) {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        let db = YcsbDatabase::load(
+            &engine,
+            YcsbConfig { keys: 200, value_size: 32, read_fraction: 0.5, zipf_theta: theta, scan_length },
+        )
+        .unwrap();
+        (engine, db)
+    }
+
+    #[test]
+    fn load_and_execute_point_ops() {
+        let (engine, db) = small_db(0.5, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut touched = 0;
+        for _ in 0..50 {
+            let op = db.next_op(&mut rng);
+            assert!(!matches!(op, YcsbOp::Scan { .. }));
+            touched += db.execute(NodeId(1), &op, TxOptions::serializable()).unwrap_or(0);
+        }
+        assert!(touched > 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn scan_mix_generates_scans_and_updates() {
+        let (engine, db) = small_db(0.0, 10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut scans = 0;
+        let mut updates = 0;
+        for _ in 0..500 {
+            match db.next_op(&mut rng) {
+                YcsbOp::Scan { len, .. } => {
+                    assert_eq!(len, 10);
+                    scans += 1;
+                }
+                YcsbOp::Update(_) => updates += 1,
+                YcsbOp::Read(_) => panic!("no plain reads in the scan mix"),
+            }
+        }
+        assert!(scans > 10, "scans: {scans}");
+        assert!(updates > scans, "updates should outnumber scans: {updates} vs {scans}");
+        // Execute a scan and an update for real.
+        let got = db
+            .execute(NodeId(2), &YcsbOp::Scan { start: 0, len: 10 }, TxOptions::serializable())
+            .unwrap();
+        assert_eq!(got, 10);
+        db.execute(NodeId(0), &YcsbOp::Update(5), TxOptions::serializable()).unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn values_embed_their_key() {
+        let (engine, db) = small_db(0.0, 0);
+        let node = engine.node(NodeId(0));
+        let mut tx = node.begin();
+        let v = db.tree().get(&mut tx, 42).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 42);
+        tx.commit().unwrap();
+        engine.shutdown();
+    }
+}

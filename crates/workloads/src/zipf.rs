@@ -1,0 +1,156 @@
+//! Zipf-distributed key selection (used by the YCSB skew experiment,
+//! Figure 14).
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` using the standard YCSB/Gray et al.
+/// construction: the probability of item `i` is proportional to
+/// `1 / (i+1)^θ`. θ = 0 is uniform; θ close to 1 is highly skewed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (must be in `[0, 1)`
+    /// or slightly above; exactly 1.0 is clamped).
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0);
+        let theta = theta.clamp(0.0, 0.9999);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For large n this O(n) sum is precomputed once at construction;
+        // cap the exact sum and approximate the tail with the integral to
+        // keep construction cheap for hundreds of millions of keys.
+        const EXACT: u64 = 1_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // Integral approximation of the remaining terms.
+            let a = EXACT as f64;
+            let b = n as f64;
+            sum += if (theta - 1.0).abs() < 1e-9 {
+                (b / a).ln()
+            } else {
+                (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+            };
+        }
+        sum
+    }
+
+    /// The number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one item in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Internal consistency check used in tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform sampling too skewed: {min} .. {max}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_hot_keys() {
+        let z = Zipf::new(10_000, 0.95);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hot = 0u32;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                hot += 1;
+            }
+        }
+        // With θ=0.95 the hottest 1% of keys should absorb well over a third
+        // of the accesses.
+        assert!(hot as f64 / total as f64 > 0.35, "only {hot} hot hits");
+    }
+
+    #[test]
+    fn skew_increases_with_theta() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let frac_hot = |theta: f64, rng: &mut StdRng| {
+            let z = Zipf::new(10_000, theta);
+            let mut hot = 0;
+            for _ in 0..50_000 {
+                if z.sample(rng) < 100 {
+                    hot += 1;
+                }
+            }
+            hot as f64 / 50_000.0
+        };
+        let low = frac_hot(0.2, &mut rng);
+        let high = frac_hot(0.9, &mut rng);
+        assert!(high > low, "skew did not increase: {low} vs {high}");
+    }
+
+    #[test]
+    fn large_n_constructs_quickly_and_samples() {
+        let z = Zipf::new(285_000_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 285_000_000);
+        }
+    }
+}

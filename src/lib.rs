@@ -1,0 +1,22 @@
+//! # farm-repro — workspace root of the FaRMv2 reproduction
+//!
+//! This crate re-exports the public surface of the sub-crates so the
+//! examples and integration tests have a single dependency, and so
+//! downstream users can depend on one crate.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the reproduction of every table and figure.
+
+pub use farm_clock as clock;
+pub use farm_core as core_engine;
+pub use farm_disklog as disklog;
+pub use farm_index as index;
+pub use farm_kernel as kernel;
+pub use farm_memory as memory;
+pub use farm_net as net;
+pub use farm_workloads as workloads;
+
+pub use farm_core::{
+    AbortReason, Engine, EngineConfig, EngineMode, MvPolicy, NodeId, Transaction, TxError, TxOptions,
+};
+pub use farm_kernel::ClusterConfig;
