@@ -12,12 +12,20 @@ fn bench_clock(c: &mut Criterion) {
     let master = NodeClock::new_master(base.clone(), ClockConfig::default());
     let slave = NodeClock::new_slave(base.clone(), ClockConfig::default());
     let now = base.now_ns();
-    slave.record_sync(SyncSample { t_send: now, t_cm: now, t_recv: now + 20_000 });
+    slave.record_sync(SyncSample {
+        t_send: now,
+        t_cm: now,
+        t_recv: now + 20_000,
+    });
 
     let mut group = c.benchmark_group("clock");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("time_interval_slave", |b| b.iter(|| slave.time().unwrap()));
-    group.bench_function("get_ts_master_strict", |b| b.iter(|| master.get_ts(TsMode::StrictWait)));
+    group.bench_function("get_ts_master_strict", |b| {
+        b.iter(|| master.get_ts(TsMode::StrictWait))
+    });
     group.bench_function("get_ts_slave_non_strict", |b| {
         b.iter(|| slave.get_ts(TsMode::NonStrictRead))
     });

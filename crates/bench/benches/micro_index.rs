@@ -15,13 +15,17 @@ fn bench_index(c: &mut Criterion) {
     {
         let mut tx = node.begin();
         for k in 0..200u64 {
-            table.put(&mut tx, &k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+            table
+                .put(&mut tx, &k.to_be_bytes(), &k.to_le_bytes())
+                .unwrap();
             tree.put(&mut tx, k, &k.to_le_bytes()).unwrap();
         }
         tx.commit().unwrap();
     }
     let mut group = c.benchmark_group("index");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("hashtable_get", |b| {
         b.iter(|| {
             let mut tx = node.begin();

@@ -10,7 +10,9 @@ use farm_memory::{OldVersion, OldVersionStore, Slab, ThreadOldAllocator};
 
 fn bench_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("slab_alloc_free", |b| {
         let slab = Slab::new(64, 1024);
         b.iter(|| {
@@ -24,7 +26,11 @@ fn bench_memory(c: &mut Criterion) {
         let payload = Bytes::from(vec![0u8; 128]);
         b.iter(|| {
             alloc
-                .allocate(OldVersion { ts: 1, ovp: None, data: payload.clone() })
+                .allocate(OldVersion {
+                    ts: 1,
+                    ovp: None,
+                    data: payload.clone(),
+                })
                 .unwrap()
         })
     });

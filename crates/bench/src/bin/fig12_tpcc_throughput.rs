@@ -11,11 +11,41 @@ fn main() {
     let duration = bench_duration(2.0);
     println!("system,isolation,strict,neworders_per_s,abort_rate,p99_us");
     let configs: Vec<(&str, EngineConfig, TxOptions, &str, &str)> = vec![
-        ("BASELINE", EngineConfig::baseline(), TxOptions::serializable(), "serializable", "strict"),
-        ("FaRMv2", EngineConfig::default(), TxOptions::serializable(), "serializable", "strict"),
-        ("FaRMv2", EngineConfig::default(), TxOptions::serializable_non_strict(), "serializable", "non-strict"),
-        ("FaRMv2", EngineConfig::default(), TxOptions::snapshot_isolation(), "si", "strict"),
-        ("FaRMv2", EngineConfig::default(), TxOptions::snapshot_isolation_non_strict(), "si", "non-strict"),
+        (
+            "BASELINE",
+            EngineConfig::baseline(),
+            TxOptions::serializable(),
+            "serializable",
+            "strict",
+        ),
+        (
+            "FaRMv2",
+            EngineConfig::default(),
+            TxOptions::serializable(),
+            "serializable",
+            "strict",
+        ),
+        (
+            "FaRMv2",
+            EngineConfig::default(),
+            TxOptions::serializable_non_strict(),
+            "serializable",
+            "non-strict",
+        ),
+        (
+            "FaRMv2",
+            EngineConfig::default(),
+            TxOptions::snapshot_isolation(),
+            "si",
+            "strict",
+        ),
+        (
+            "FaRMv2",
+            EngineConfig::default(),
+            TxOptions::snapshot_isolation_non_strict(),
+            "si",
+            "non-strict",
+        ),
     ];
     for (name, engine_cfg, opts, iso, strict) in configs {
         let (engine, db) = tpcc_setup(nodes, engine_cfg, small_tpcc());

@@ -8,12 +8,21 @@ use farm_workloads::YcsbConfig;
 fn main() {
     let duration = bench_duration(1.5);
     println!("system,theta,ops_per_s,abort_rate");
-    for (name, cfg) in [("BASELINE", EngineConfig::baseline()), ("FaRMv2", EngineConfig::default())] {
+    for (name, cfg) in [
+        ("BASELINE", EngineConfig::baseline()),
+        ("FaRMv2", EngineConfig::default()),
+    ] {
         for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
             let (engine, db) = ycsb_setup(
                 3,
                 cfg,
-                YcsbConfig { keys: 5_000, value_size: 64, read_fraction: 0.5, zipf_theta: theta, scan_length: 0 },
+                YcsbConfig {
+                    keys: 5_000,
+                    value_size: 64,
+                    read_fraction: 0.5,
+                    zipf_theta: theta,
+                    scan_length: 0,
+                },
             );
             let r = run_ycsb(&engine, &db, 6, duration, TxOptions::serializable());
             println!("{name},{theta},{:.0},{:.4}", r.throughput, r.abort_rate);

@@ -13,9 +13,27 @@ fn main() {
     let systems: Vec<(&str, EngineConfig)> = vec![
         ("BASELINE", EngineConfig::baseline()),
         ("SV", EngineConfig::default()),
-        ("MV-BLOCK", EngineConfig { mode: EngineMode::farmv2_multi_version(MvPolicy::Block), ..EngineConfig::default() }),
-        ("MV-ABORT", EngineConfig { mode: EngineMode::farmv2_multi_version(MvPolicy::Abort), ..EngineConfig::default() }),
-        ("MV-TRUNCATE", EngineConfig { mode: EngineMode::farmv2_multi_version(MvPolicy::Truncate), ..EngineConfig::default() }),
+        (
+            "MV-BLOCK",
+            EngineConfig {
+                mode: EngineMode::farmv2_multi_version(MvPolicy::Block),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "MV-ABORT",
+            EngineConfig {
+                mode: EngineMode::farmv2_multi_version(MvPolicy::Abort),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "MV-TRUNCATE",
+            EngineConfig {
+                mode: EngineMode::farmv2_multi_version(MvPolicy::Truncate),
+                ..EngineConfig::default()
+            },
+        ),
     ];
     println!("system,scan_length,keys_per_s,abort_rate");
     for scan_length in [1usize, 10, 100, 1000] {
@@ -27,12 +45,21 @@ fn main() {
             let db = Arc::new(
                 YcsbDatabase::load(
                     &engine,
-                    YcsbConfig { keys: 4_000, value_size: 64, read_fraction: 0.5, zipf_theta: 0.0, scan_length },
+                    YcsbConfig {
+                        keys: 4_000,
+                        value_size: 64,
+                        read_fraction: 0.5,
+                        zipf_theta: 0.0,
+                        scan_length,
+                    },
                 )
                 .expect("load"),
             );
             let r = run_ycsb(&engine, &db, 6, duration, TxOptions::serializable());
-            println!("{name},{scan_length},{:.0},{:.4}", r.throughput, r.abort_rate);
+            println!(
+                "{name},{scan_length},{:.0},{:.4}",
+                r.throughput, r.abort_rate
+            );
             engine.shutdown();
             engine.cluster().shutdown();
         }

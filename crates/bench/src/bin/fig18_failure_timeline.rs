@@ -26,9 +26,12 @@ fn main() {
             let node = NodeId(2 + t % 3);
             let mut rng = StdRng::seed_from_u64(t as u64);
             while !stop.load(Ordering::Relaxed) {
-                if let Ok(TpccOutcome::Committed(_)) =
-                    db.execute(node, TpccTxKind::sample(&mut rng), TxOptions::serializable(), &mut rng)
-                {
+                if let Ok(TpccOutcome::Committed(_)) = db.execute(
+                    node,
+                    TpccTxKind::sample(&mut rng),
+                    TxOptions::serializable(),
+                    &mut rng,
+                ) {
                     committed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -42,7 +45,10 @@ fn main() {
         let c0 = committed.load(Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(1));
         let c1 = committed.load(Ordering::Relaxed);
-        samples.push((start.elapsed().as_secs_f64() * 1_000.0, (c1 - c0) as f64 / 0.001));
+        samples.push((
+            start.elapsed().as_secs_f64() * 1_000.0,
+            (c1 - c0) as f64 / 0.001,
+        ));
         if !killed && start.elapsed() > Duration::from_millis(50) {
             engine.cluster().events().clear();
             engine.cluster().kill(NodeId(0));
@@ -62,7 +68,10 @@ fn main() {
     for e in engine.cluster().events().snapshot() {
         if matches!(
             e.kind,
-            EventKind::Suspected(_) | EventKind::ClockDisabled | EventKind::ClockEnabled { .. } | EventKind::ConfigCommitted { .. }
+            EventKind::Suspected(_)
+                | EventKind::ClockDisabled
+                | EventKind::ClockEnabled { .. }
+                | EventKind::ConfigCommitted { .. }
         ) {
             println!("# {:?}", e.kind);
         }

@@ -10,7 +10,7 @@ fn main() {
     for objects in [10_000u64, 100_000, 500_000] {
         let mut backup = DiskBackup::new(DiskBackupConfig::default());
         for i in 0..objects {
-            backup.apply_update(i, /*write_ts=*/ i + 1, &vec![0u8; 64]);
+            backup.apply_update(i, /*write_ts=*/ i + 1, &[0u8; 64]);
         }
         // Advance the GC safe point past every write: the version map drains.
         backup.prune_versions(objects + 2);

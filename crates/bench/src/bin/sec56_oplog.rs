@@ -15,9 +15,18 @@ fn main() {
     engine.shutdown();
     engine.cluster().shutdown();
 
-    let oplog_cfg = EngineConfig { operation_logging: true, ..EngineConfig::multi_version() };
+    let oplog_cfg = EngineConfig {
+        operation_logging: true,
+        ..EngineConfig::multi_version()
+    };
     let (engine, db) = tpcc_setup(3, oplog_cfg, small_tpcc());
-    let r = run_tpcc(&engine, &db, 6, duration, TxOptions::snapshot_isolation_non_strict());
+    let r = run_tpcc(
+        &engine,
+        &db,
+        6,
+        duration,
+        TxOptions::snapshot_isolation_non_strict(),
+    );
     println!("operation-logging non-strict SI,{:.0}", r.throughput);
     engine.shutdown();
     engine.cluster().shutdown();

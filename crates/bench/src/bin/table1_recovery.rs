@@ -30,9 +30,12 @@ fn run_case(name: &str, kill: &[u32]) {
             let node = NodeId(2 + t % 3);
             let mut rng = StdRng::seed_from_u64(t as u64);
             while !stop.load(Ordering::Relaxed) {
-                if let Ok(TpccOutcome::Committed(_)) =
-                    db.execute(node, TpccTxKind::sample(&mut rng), TxOptions::serializable(), &mut rng)
-                {
+                if let Ok(TpccOutcome::Committed(_)) = db.execute(
+                    node,
+                    TpccTxKind::sample(&mut rng),
+                    TxOptions::serializable(),
+                    &mut rng,
+                ) {
                     committed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -67,18 +70,28 @@ fn run_case(name: &str, kill: &[u32]) {
     let rerep_deadline = Instant::now() + Duration::from_secs(10);
     loop {
         let events = engine.cluster().events().snapshot();
-        if events.iter().any(|e| matches!(e.kind, EventKind::RereplicationComplete)) || Instant::now() > rerep_deadline {
+        if events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RereplicationComplete))
+            || Instant::now() > rerep_deadline
+        {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
     }
     let events = engine.cluster().events();
     let clock_disable = events
-        .span(|k| matches!(k, EventKind::ClockDisabled), |k| matches!(k, EventKind::ClockEnabled { .. }))
+        .span(
+            |k| matches!(k, EventKind::ClockDisabled),
+            |k| matches!(k, EventKind::ClockEnabled { .. }),
+        )
         .map(|d| d.as_secs_f64() * 1_000.0)
         .unwrap_or(0.0);
     let rerep = events
-        .span(|k| matches!(k, EventKind::Suspected(_)), |k| matches!(k, EventKind::RereplicationComplete))
+        .span(
+            |k| matches!(k, EventKind::Suspected(_)),
+            |k| matches!(k, EventKind::RereplicationComplete),
+        )
         .map(|d| d.as_secs_f64() * 1_000.0)
         .unwrap_or(0.0);
     stop.store(true, Ordering::Relaxed);

@@ -40,6 +40,26 @@ pub struct RunResult {
     pub mean_write_wait_us: f64,
     /// Abort rate in [0, 1].
     pub abort_rate: f64,
+    /// Network messages per committed transaction (all verbs; batched
+    /// commit-protocol messages count once however many objects they carry).
+    pub msgs_per_commit: f64,
+    /// Logical operations per committed transaction — the same traffic
+    /// counted per object. `ops_per_commit / msgs_per_commit` is the mean
+    /// batching factor the per-destination fan-out achieves.
+    pub ops_per_commit: f64,
+    /// Mean objects per LOCK batch over the run.
+    pub lock_batch_size: f64,
+}
+
+/// Sums the per-node network statistics into one cluster-wide snapshot.
+pub fn cluster_net_snapshot(engine: &Arc<Engine>) -> farm_net::NetStatsSnapshot {
+    engine
+        .nodes()
+        .iter()
+        .map(|n| n.handle().stats().snapshot())
+        .fold(farm_net::NetStatsSnapshot::default(), |acc, s| {
+            acc.merged(&s)
+        })
 }
 
 /// Builds a default cluster configuration for benchmarks: `nodes` machines,
@@ -72,7 +92,8 @@ pub fn run_tpcc(
     let neworders = Arc::new(AtomicU64::new(0));
     let nodes = engine.nodes().len() as u32;
     let mut handles = Vec::new();
-    let latencies: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let latencies: Arc<parking_lot::Mutex<Vec<u64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
     for t in 0..threads {
         let engine = Arc::clone(engine);
         let db = Arc::clone(db);
@@ -109,6 +130,7 @@ pub fn run_tpcc(
         }));
     }
     let before = engine.aggregate_stats();
+    let net_before = cluster_net_snapshot(engine);
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
     for h in handles {
@@ -116,6 +138,7 @@ pub fn run_tpcc(
     }
     let after = engine.aggregate_stats();
     let delta = after.delta(&before);
+    let net_delta = cluster_net_snapshot(engine).delta(&net_before);
     let mut lat = latencies.lock().clone();
     lat.sort_unstable();
     let pct = |p: f64| -> f64 {
@@ -128,6 +151,7 @@ pub fn run_tpcc(
     };
     let c = committed.load(Ordering::Relaxed);
     let a = aborted.load(Ordering::Relaxed);
+    let commits = delta.commits().max(1);
     RunResult {
         throughput: neworders.load(Ordering::Relaxed) as f64 / duration.as_secs_f64(),
         committed: c,
@@ -135,7 +159,14 @@ pub fn run_tpcc(
         latency_p50_us: pct(0.5),
         latency_p99_us: pct(0.99),
         mean_write_wait_us: delta.mean_write_wait_ns() / 1_000.0,
-        abort_rate: if c + a == 0 { 0.0 } else { a as f64 / (c + a) as f64 },
+        abort_rate: if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        },
+        msgs_per_commit: net_delta.total_messages() as f64 / commits as f64,
+        ops_per_commit: net_delta.total_ops() as f64 / commits as f64,
+        lock_batch_size: delta.mean_lock_batch_size(),
     }
 }
 
@@ -180,18 +211,30 @@ pub fn run_ycsb(
             let _ = &engine;
         }));
     }
+    let before = engine.aggregate_stats();
+    let net_before = cluster_net_snapshot(engine);
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         let _ = h.join();
     }
+    let delta = engine.aggregate_stats().delta(&before);
+    let net_delta = cluster_net_snapshot(engine).delta(&net_before);
     let c = committed.load(Ordering::Relaxed);
     let a = aborted.load(Ordering::Relaxed);
+    let commits = delta.commits().max(1);
     RunResult {
         throughput: keys_done.load(Ordering::Relaxed) as f64 / duration.as_secs_f64(),
         committed: c,
         aborted: a,
-        abort_rate: if c + a == 0 { 0.0 } else { a as f64 / (c + a) as f64 },
+        abort_rate: if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        },
+        msgs_per_commit: net_delta.total_messages() as f64 / commits as f64,
+        ops_per_commit: net_delta.total_ops() as f64 / commits as f64,
+        lock_batch_size: delta.mean_lock_batch_size(),
         ..Default::default()
     }
 }
@@ -246,8 +289,17 @@ mod tests {
     #[test]
     fn tpcc_driver_produces_throughput() {
         let (engine, db) = tpcc_setup(3, EngineConfig::default(), small_tpcc());
-        let result = run_tpcc(&engine, &db, 2, Duration::from_millis(200), TxOptions::serializable());
-        assert!(result.throughput > 0.0, "no neworders committed: {result:?}");
+        let result = run_tpcc(
+            &engine,
+            &db,
+            2,
+            Duration::from_millis(200),
+            TxOptions::serializable(),
+        );
+        assert!(
+            result.throughput > 0.0,
+            "no neworders committed: {result:?}"
+        );
         assert!(result.abort_rate < 0.5);
         engine.cluster().shutdown();
         engine.shutdown();
@@ -258,9 +310,19 @@ mod tests {
         let (engine, db) = ycsb_setup(
             3,
             EngineConfig::multi_version(),
-            YcsbConfig { keys: 500, value_size: 32, ..Default::default() },
+            YcsbConfig {
+                keys: 500,
+                value_size: 32,
+                ..Default::default()
+            },
         );
-        let result = run_ycsb(&engine, &db, 2, Duration::from_millis(200), TxOptions::serializable());
+        let result = run_ycsb(
+            &engine,
+            &db,
+            2,
+            Duration::from_millis(200),
+            TxOptions::serializable(),
+        );
         assert!(result.throughput > 0.0);
         engine.cluster().shutdown();
         engine.shutdown();

@@ -33,7 +33,9 @@ pub struct MonotonicClock {
 impl MonotonicClock {
     /// Creates a clock whose epoch is "now".
     pub fn new() -> Self {
-        MonotonicClock { origin: Instant::now() }
+        MonotonicClock {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -69,7 +71,12 @@ pub struct DriftClock {
 impl DriftClock {
     /// Creates a drifting view of `base`.
     pub fn new(base: SharedClock, offset_ns: u64, drift_ppm: i32) -> Self {
-        DriftClock { base, offset_ns, drift_ppm, last: AtomicU64::new(0) }
+        DriftClock {
+            base,
+            offset_ns,
+            drift_ppm,
+            last: AtomicU64::new(0),
+        }
     }
 
     /// The configured drift in parts per million.
@@ -106,7 +113,9 @@ pub struct ManualClock {
 impl ManualClock {
     /// Creates a manual clock starting at `start_ns`.
     pub fn new(start_ns: u64) -> Self {
-        ManualClock { now: AtomicU64::new(start_ns) }
+        ManualClock {
+            now: AtomicU64::new(start_ns),
+        }
     }
 
     /// Advances the clock by `delta_ns`.
@@ -118,7 +127,10 @@ impl ManualClock {
     /// clock backwards (clocks are monotonic).
     pub fn set(&self, t_ns: u64) {
         let prev = self.now.swap(t_ns, Ordering::SeqCst);
-        assert!(prev <= t_ns, "ManualClock moved backwards: {prev} -> {t_ns}");
+        assert!(
+            prev <= t_ns,
+            "ManualClock moved backwards: {prev} -> {t_ns}"
+        );
     }
 }
 

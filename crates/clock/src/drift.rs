@@ -46,7 +46,13 @@ impl DriftMonitor {
 
     /// Creates a monitor with explicit threshold (ppm) and minimum span (ns).
     pub fn with_params(threshold_ppm: f64, min_span_ns: u64) -> Self {
-        DriftMonitor { threshold_ppm, min_span_ns, last: None, last_report: None, violations: 0 }
+        DriftMonitor {
+            threshold_ppm,
+            min_span_ns,
+            last: None,
+            last_report: None,
+            violations: 0,
+        }
     }
 
     /// Feeds one completed synchronization. Returns a report when enough
@@ -112,7 +118,11 @@ mod tests {
     use super::*;
 
     fn sample(local_mid: u64, cm: u64, rtt: u64) -> SyncSample {
-        SyncSample { t_send: local_mid - rtt / 2, t_cm: cm, t_recv: local_mid + rtt / 2 }
+        SyncSample {
+            t_send: local_mid - rtt / 2,
+            t_cm: cm,
+            t_recv: local_mid + rtt / 2,
+        }
     }
 
     #[test]

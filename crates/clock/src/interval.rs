@@ -70,7 +70,10 @@ impl TimeInterval {
     /// Builds an interval, asserting the bounds are ordered.
     #[inline]
     pub fn new(lower: u64, upper: u64) -> Self {
-        debug_assert!(lower <= upper, "interval bounds out of order: [{lower}, {upper}]");
+        debug_assert!(
+            lower <= upper,
+            "interval bounds out of order: [{lower}, {upper}]"
+        );
         TimeInterval { lower, upper }
     }
 

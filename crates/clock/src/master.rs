@@ -47,13 +47,19 @@ impl MasterState {
     /// local clock.
     pub fn initial(clock: &SharedClock) -> Self {
         let now = clock.now_ns();
-        MasterState { anchor_local: now, anchor_master: now }
+        MasterState {
+            anchor_local: now,
+            anchor_master: now,
+        }
     }
 
     /// Master state for a node taking over as clock master after failover:
     /// global time continues from the fast-forward value `ff`.
     pub fn taking_over_at(clock: &SharedClock, ff: u64) -> Self {
-        MasterState { anchor_local: clock.now_ns(), anchor_master: ff }
+        MasterState {
+            anchor_local: clock.now_ns(),
+            anchor_master: ff,
+        }
     }
 
     /// The current master time.

@@ -27,7 +27,11 @@ pub struct ClockConfig {
 
 impl Default for ClockConfig {
     fn default() -> Self {
-        ClockConfig { drift_bound_ppm: 1_000, thread_skew_ns: 400, spin_threshold_ns: 100_000 }
+        ClockConfig {
+            drift_bound_ppm: 1_000,
+            thread_skew_ns: 400,
+            spin_threshold_ns: 100_000,
+        }
     }
 }
 
@@ -213,7 +217,10 @@ impl NodeClock {
             Role::Master(m) => {
                 let t = m.master_time(&self.clock);
                 let skew = self.config.thread_skew_ns;
-                Some(TimeInterval::new(t.saturating_sub(skew), t.saturating_add(skew)))
+                Some(TimeInterval::new(
+                    t.saturating_sub(skew),
+                    t.saturating_add(skew),
+                ))
             }
             Role::Slave(s) => s.time(self.clock.now_ns()),
         }?;
@@ -319,7 +326,10 @@ impl NodeClock {
 
     /// Performs one synchronization round against `source` and enables the
     /// clock on success. No-op (returns `Ok`) on the master itself.
-    pub fn sync_with(&self, source: &dyn MasterTimeSource) -> Result<Option<SyncSample>, SyncError> {
+    pub fn sync_with(
+        &self,
+        source: &dyn MasterTimeSource,
+    ) -> Result<Option<SyncSample>, SyncError> {
         let mut role = self.role.write();
         match &mut *role {
             Role::Master(_) => Ok(None),
@@ -362,7 +372,8 @@ impl NodeClock {
     /// The local clock keeps advancing.
     pub fn disable(&self) {
         if self.enabled.swap(false, Ordering::AcqRel) {
-            self.disabled_at.store(self.clock.now_ns(), Ordering::Relaxed);
+            self.disabled_at
+                .store(self.clock.now_ns(), Ordering::Relaxed);
         }
     }
 
@@ -376,7 +387,9 @@ impl NodeClock {
 
     /// Raises `FF` to at least `candidate` and returns the new value.
     pub fn raise_ff(&self, candidate: u64) -> u64 {
-        self.ff.fetch_max(candidate, Ordering::AcqRel).max(candidate)
+        self.ff
+            .fetch_max(candidate, Ordering::AcqRel)
+            .max(candidate)
     }
 
     /// Current fast-forward value.
@@ -398,10 +411,13 @@ impl NodeClock {
     /// the first successful synchronization.
     pub fn become_slave(&self) {
         let mut role = self.role.write();
-        *role =
-            Role::Slave(Synchronizer::new(self.config.drift_bound_ppm, self.config.thread_skew_ns));
+        *role = Role::Slave(Synchronizer::new(
+            self.config.drift_bound_ppm,
+            self.config.thread_skew_ns,
+        ));
         self.enabled.store(false, Ordering::Release);
-        self.disabled_at.store(self.clock.now_ns(), Ordering::Relaxed);
+        self.disabled_at
+            .store(self.clock.now_ns(), Ordering::Relaxed);
     }
 
     /// Re-enables the clock (master side of the failover protocol, or any
@@ -428,7 +444,11 @@ mod tests {
     use std::sync::Arc;
 
     fn cfg() -> ClockConfig {
-        ClockConfig { drift_bound_ppm: 1_000, thread_skew_ns: 0, spin_threshold_ns: 100_000 }
+        ClockConfig {
+            drift_bound_ppm: 1_000,
+            thread_skew_ns: 0,
+            spin_threshold_ns: 100_000,
+        }
     }
 
     #[test]
@@ -447,7 +467,11 @@ mod tests {
         let node = NodeClock::new_slave(clock, cfg());
         assert!(node.time().is_none());
         assert!(!node.is_enabled());
-        node.record_sync(SyncSample { t_send: 0, t_cm: 100, t_recv: 10 });
+        node.record_sync(SyncSample {
+            t_send: 0,
+            t_cm: 100,
+            t_recv: 10,
+        });
         assert!(node.is_enabled());
         let i = node.time().unwrap();
         assert!(i.lower <= 100 && i.upper >= 100);
@@ -475,12 +499,19 @@ mod tests {
         let cm = master.serve_master_time().unwrap();
         std::thread::sleep(Duration::from_micros(40));
         let recv = base.now_ns();
-        slave.record_sync(SyncSample { t_send: send, t_cm: cm, t_recv: recv });
+        slave.record_sync(SyncSample {
+            t_send: send,
+            t_cm: cm,
+            t_recv: recv,
+        });
         let before = master.serve_master_time().unwrap();
         let (ts, waited) = slave.get_ts(TsMode::StrictWait);
         let after = master.serve_master_time().unwrap();
         assert!(ts.as_nanos() >= before, "read timestamp must not be stale");
-        assert!(ts.as_nanos() <= after, "timestamp must be in the past after the wait");
+        assert!(
+            ts.as_nanos() <= after,
+            "timestamp must be in the past after the wait"
+        );
         assert!(waited > 0, "a wait was required (uncertainty ~40µs)");
     }
 
@@ -489,7 +520,11 @@ mod tests {
         let base: SharedClock = Arc::new(MonotonicClock::new());
         let slave = NodeClock::new_slave(base.clone(), cfg());
         let now = base.now_ns();
-        slave.record_sync(SyncSample { t_send: now, t_cm: now, t_recv: now + 10_000 });
+        slave.record_sync(SyncSample {
+            t_send: now,
+            t_cm: now,
+            t_recv: now + 10_000,
+        });
         let i = slave.time().unwrap();
         let (ts, waited) = slave.get_ts(TsMode::NonStrictRead);
         assert_eq!(waited, 0);
@@ -503,7 +538,11 @@ mod tests {
         let base: SharedClock = Arc::new(MonotonicClock::new());
         let slave = NodeClock::new_slave(base.clone(), cfg());
         let now = base.now_ns();
-        slave.record_sync(SyncSample { t_send: now, t_cm: now, t_recv: now + 1_000 });
+        slave.record_sync(SyncSample {
+            t_send: now,
+            t_cm: now,
+            t_recv: now + 1_000,
+        });
         let mut prev = 0;
         for _ in 0..1_000 {
             let i = slave.time().unwrap();
@@ -531,7 +570,11 @@ mod tests {
     fn failover_master_continues_from_ff() {
         let base: SharedClock = Arc::new(ManualClock::new(100));
         let node = NodeClock::new_slave(base.clone(), cfg());
-        node.record_sync(SyncSample { t_send: 0, t_cm: 10_000, t_recv: 100 });
+        node.record_sync(SyncSample {
+            t_send: 0,
+            t_cm: 10_000,
+            t_recv: 100,
+        });
         node.disable();
         let ff = node.update_ff_from_time();
         assert!(ff >= 10_000);
@@ -547,7 +590,11 @@ mod tests {
         let base: SharedClock = Arc::new(ManualClock::new(0));
         let node = NodeClock::new_slave(base, cfg());
         assert_eq!(node.serve_master_time(), Err(MasterError::Disabled));
-        node.record_sync(SyncSample { t_send: 0, t_cm: 0, t_recv: 0 });
+        node.record_sync(SyncSample {
+            t_send: 0,
+            t_cm: 0,
+            t_recv: 0,
+        });
         assert_eq!(node.serve_master_time(), Err(MasterError::NotMaster));
     }
 

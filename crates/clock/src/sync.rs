@@ -110,7 +110,13 @@ impl Synchronizer {
     /// Creates an empty synchronizer with the given drift bound (ppm) and
     /// cross-thread skew allowance (ns).
     pub fn new(drift_ppm: u32, thread_skew_ns: u64) -> Self {
-        Synchronizer { drift_ppm, thread_skew_ns, s_lower: None, s_upper: None, syncs: 0 }
+        Synchronizer {
+            drift_ppm,
+            thread_skew_ns,
+            s_lower: None,
+            s_upper: None,
+            syncs: 0,
+        }
     }
 
     /// The drift bound ε in parts per million.
@@ -187,7 +193,11 @@ impl Synchronizer {
         let t_send = local_now();
         let t_cm = source.master_time()?;
         let t_recv = local_now();
-        let sample = SyncSample { t_send, t_cm, t_recv };
+        let sample = SyncSample {
+            t_send,
+            t_cm,
+            t_recv,
+        };
         self.record(sample, t_recv);
         Ok(sample)
     }
@@ -202,7 +212,11 @@ mod tests {
     #[test]
     fn bounds_straddle_master_time_immediately_after_sync() {
         // Non-CM local clock equals master clock + 500 offset, zero drift.
-        let sample = SyncSample { t_send: 1_500, t_cm: 1_020, t_recv: 1_540 };
+        let sample = SyncSample {
+            t_send: 1_500,
+            t_cm: 1_020,
+            t_recv: 1_540,
+        };
         let lb = sample.lower_bound(1_540, EPS);
         let ub = sample.upper_bound(1_540, EPS);
         // Master time at t_recv is ~1040 (sent at master time 1000, 40 rtt).
@@ -213,7 +227,11 @@ mod tests {
 
     #[test]
     fn uncertainty_grows_with_elapsed_time() {
-        let sample = SyncSample { t_send: 0, t_cm: 10, t_recv: 20 };
+        let sample = SyncSample {
+            t_send: 0,
+            t_cm: 10,
+            t_recv: 20,
+        };
         let mut sync = Synchronizer::new(EPS, 0);
         sync.record(sample, 20);
         let i0 = sync.time(20).unwrap();
@@ -225,15 +243,36 @@ mod tests {
     fn keeps_best_lower_and_upper_bounds_separately() {
         let mut sync = Synchronizer::new(EPS, 0);
         // First sample: long RTT (wide interval).
-        sync.record(SyncSample { t_send: 0, t_cm: 500, t_recv: 1_000 }, 1_000);
+        sync.record(
+            SyncSample {
+                t_send: 0,
+                t_cm: 500,
+                t_recv: 1_000,
+            },
+            1_000,
+        );
         let wide = sync.time(1_000).unwrap();
         // Second sample: short RTT, tighter on both sides.
-        sync.record(SyncSample { t_send: 2_000, t_cm: 2_510, t_recv: 2_020 }, 2_020);
+        sync.record(
+            SyncSample {
+                t_send: 2_000,
+                t_cm: 2_510,
+                t_recv: 2_020,
+            },
+            2_020,
+        );
         let tight = sync.time(2_020).unwrap();
         assert!(tight.uncertainty() < wide.uncertainty() + 1_020);
         // A later, sloppier sample must not widen the bounds.
         let before = sync.time(3_000).unwrap();
-        sync.record(SyncSample { t_send: 2_900, t_cm: 3_000, t_recv: 3_000 }, 3_000);
+        sync.record(
+            SyncSample {
+                t_send: 2_900,
+                t_cm: 3_000,
+                t_recv: 3_000,
+            },
+            3_000,
+        );
         let after = sync.time(3_000).unwrap();
         assert!(after.uncertainty() <= before.uncertainty());
     }
@@ -248,7 +287,14 @@ mod tests {
     #[test]
     fn reset_clears_samples() {
         let mut sync = Synchronizer::new(EPS, 0);
-        sync.record(SyncSample { t_send: 0, t_cm: 5, t_recv: 10 }, 10);
+        sync.record(
+            SyncSample {
+                t_send: 0,
+                t_cm: 5,
+                t_recv: 10,
+            },
+            10,
+        );
         assert!(sync.is_synchronized());
         sync.reset();
         assert!(!sync.is_synchronized());
@@ -259,7 +305,11 @@ mod tests {
     fn thread_skew_widens_interval_symmetrically() {
         let mut a = Synchronizer::new(EPS, 0);
         let mut b = Synchronizer::new(EPS, 400);
-        let s = SyncSample { t_send: 0, t_cm: 50_000, t_recv: 100 };
+        let s = SyncSample {
+            t_send: 0,
+            t_cm: 50_000,
+            t_recv: 100,
+        };
         a.record(s, 100);
         b.record(s, 100);
         let ia = a.time(100).unwrap();
@@ -293,7 +343,11 @@ mod tests {
 
     #[test]
     fn rtt_is_recv_minus_send() {
-        let s = SyncSample { t_send: 10, t_cm: 0, t_recv: 35 };
+        let s = SyncSample {
+            t_send: 10,
+            t_cm: 0,
+            t_recv: 35,
+        };
         assert_eq!(s.rtt(), 25);
     }
 }

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use farm_clock::{
-    Clock, ClockConfig, DriftClock, ManualClock, NodeClock, SharedClock, SyncSample, Synchronizer,
+    ClockConfig, DriftClock, ManualClock, NodeClock, SharedClock, SyncSample, Synchronizer,
 };
 use proptest::prelude::*;
 

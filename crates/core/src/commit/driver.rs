@@ -1,0 +1,636 @@
+//! The commit driver: an explicit phase state machine executing the FaRMv2
+//! commit protocol (Figure 3) — or the FaRMv1-style baseline — with every
+//! phase batched per destination machine.
+//!
+//! Phase order (serializable):
+//! `Lock → AcquireWriteTs → Validate → ReplicateBackups → InstallPrimary →
+//! Truncate → OperationLog → Done`.
+//!
+//! Phase order (snapshot isolation): replication overlaps the write-timestamp
+//! wait and validation is skipped:
+//! `Lock → ReplicateBackups → AcquireWriteTs → InstallPrimary → Truncate →
+//! OperationLog → Done`.
+//!
+//! Phase order (baseline): no timestamps; every read is validated:
+//! `Lock → Validate → ReplicateBackups → InstallPrimary → Truncate → Done`.
+//!
+//! Every phase that talks to other machines sends **one metered message per
+//! destination** (see [`super::plan::CommitPlan`]); a K-object write set on
+//! one primary costs one LOCK message, not K. Any failure routes through the
+//! single [`unwind`](super::unwind) step, which releases every lock acquired
+//! so far — across all destinations — and rolls back allocations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use farm_clock::TsMode;
+use farm_memory::{Addr, LockOutcome, ObjectSlot, OldAddr, OldVersion};
+use farm_net::NodeId;
+
+use crate::engine::{NodeEngine, OpLogRecord};
+use crate::error::{AbortReason, TxError};
+use crate::opts::{EngineMode, IsolationLevel, MvPolicy, TxOptions};
+use crate::stats::EngineStats;
+
+use super::plan::{CommitPlan, IntentKind};
+use super::unwind::unwind;
+
+/// The phases of the commit state machine. Public so tests and tooling can
+/// label per-phase observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPhase {
+    /// Batched LOCK messages to every destination primary; in multi-version
+    /// mode the primaries copy current versions into old-version memory.
+    Lock,
+    /// COMMIT-BACKUP: one RDMA write per backup destination, NIC-acked.
+    ReplicateBackups,
+    /// Acquire the write timestamp (with uncertainty wait as configured).
+    AcquireWriteTs,
+    /// Read validation (serializable FaRMv2: unwritten reads; baseline:
+    /// every read).
+    Validate,
+    /// COMMIT-PRIMARY: one batched install message per destination primary.
+    InstallPrimary,
+    /// TRUNCATE: backups apply the new versions.
+    Truncate,
+    /// Optional operation-log append (Section 5.6).
+    OperationLog,
+    /// Terminal state.
+    Done,
+}
+
+/// One lock held by the driver, with the primary-side LOCK processing result
+/// (old-version copy) attached.
+pub(crate) struct HeldLock {
+    /// Index of the owning group in the plan.
+    pub group: usize,
+    /// Index of the intent within the group.
+    pub intent: usize,
+    /// The locked slot (cached so install does not re-resolve).
+    pub slot: Arc<ObjectSlot>,
+    /// Old version allocated at the primary while processing the LOCK batch
+    /// (multi-version mode).
+    pub old_addr: Option<OldAddr>,
+    /// Whether history was truncated for this object (MV-TRUNCATE under
+    /// memory pressure).
+    pub truncated: bool,
+}
+
+/// The commit driver; built by [`Transaction::commit`](crate::Transaction),
+/// consumed by [`CommitDriver::run`].
+pub struct CommitDriver {
+    engine: Arc<NodeEngine>,
+    opts: TxOptions,
+    read_ts: u64,
+    read_set: HashMap<Addr, u64>,
+    alloc_set: Vec<Addr>,
+    plan: CommitPlan,
+    phase: CommitPhase,
+    locked: Vec<HeldLock>,
+    write_ts: u64,
+    baseline: bool,
+}
+
+impl CommitDriver {
+    /// Builds a driver over an already-built plan.
+    pub(crate) fn new(
+        engine: Arc<NodeEngine>,
+        opts: TxOptions,
+        read_ts: u64,
+        read_set: HashMap<Addr, u64>,
+        alloc_set: Vec<Addr>,
+        plan: CommitPlan,
+    ) -> CommitDriver {
+        let baseline = engine.config().mode.is_baseline();
+        CommitDriver {
+            engine,
+            opts,
+            read_ts,
+            read_set,
+            alloc_set,
+            plan,
+            phase: CommitPhase::Lock,
+            locked: Vec::new(),
+            write_ts: 0,
+            baseline,
+        }
+    }
+
+    /// The phase the driver is currently in.
+    pub fn phase(&self) -> CommitPhase {
+        self.phase
+    }
+
+    /// Drives the state machine to completion. Returns the write timestamp,
+    /// or `None` for a baseline read-only commit (which only validates). On
+    /// error every acquired lock has been released and every allocation
+    /// rolled back.
+    pub(crate) fn run(mut self) -> Result<Option<u64>, TxError> {
+        let si = !self.baseline && self.opts.isolation == IsolationLevel::SnapshotIsolation;
+        loop {
+            self.phase = match self.phase {
+                CommitPhase::Lock => {
+                    self.phase_lock()?;
+                    if self.baseline {
+                        CommitPhase::Validate
+                    } else if si {
+                        CommitPhase::ReplicateBackups
+                    } else {
+                        CommitPhase::AcquireWriteTs
+                    }
+                }
+                CommitPhase::AcquireWriteTs => {
+                    self.phase_acquire_write_ts(si);
+                    if si {
+                        CommitPhase::InstallPrimary
+                    } else {
+                        CommitPhase::Validate
+                    }
+                }
+                CommitPhase::Validate => {
+                    self.phase_validate()?;
+                    if self.baseline
+                        && self.plan.is_empty()
+                        && self.plan.cancelled_allocs.is_empty()
+                    {
+                        // Baseline read-only transactions stop after
+                        // validating every read (FaRMv1 has no snapshots).
+                        return Ok(None);
+                    }
+                    CommitPhase::ReplicateBackups
+                }
+                CommitPhase::ReplicateBackups => {
+                    self.phase_replicate_backups();
+                    if self.baseline {
+                        CommitPhase::InstallPrimary
+                    } else if si {
+                        CommitPhase::AcquireWriteTs
+                    } else {
+                        CommitPhase::InstallPrimary
+                    }
+                }
+                CommitPhase::InstallPrimary => {
+                    self.phase_install_primary();
+                    CommitPhase::Truncate
+                }
+                CommitPhase::Truncate => {
+                    self.phase_truncate();
+                    if !self.baseline && self.engine.config().operation_logging {
+                        CommitPhase::OperationLog
+                    } else {
+                        CommitPhase::Done
+                    }
+                }
+                CommitPhase::OperationLog => {
+                    self.phase_operation_log();
+                    CommitPhase::Done
+                }
+                CommitPhase::Done => return Ok(Some(self.write_ts)),
+            };
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LOCK
+    // ------------------------------------------------------------------
+
+    /// Sends one LOCK batch per destination primary and acquires the locks
+    /// in ascending global address order (groups ascend by region, intents
+    /// by address). The whole transaction unwinds on the first conflict.
+    fn phase_lock(&mut self) -> Result<(), TxError> {
+        let stats = &self.engine.stats;
+        // Message accounting: one two-sided LOCK message per destination.
+        for dest in self.plan.lock_destinations() {
+            self.engine.meter.rpc_batch(dest.lock_ops, dest.lock_bytes);
+            EngineStats::bump(&stats.lock_batches);
+            EngineStats::add(&stats.lock_batch_objects, dest.lock_ops);
+        }
+        // Lock acquisition, region group by region group. Each group's batch
+        // is processed atomically-in-order at its primary; a failure releases
+        // the failing batch (inside `try_lock_batch`) and then every batch
+        // acquired earlier (inside `unwind`).
+        for gi in 0..self.plan.groups.len() {
+            let entries = self.plan.groups[gi].lock_entries();
+            let lockable = entries.len();
+            if entries.is_empty() {
+                continue;
+            }
+            let slots = match self.plan.groups[gi].region_handle.try_lock_batch(&entries) {
+                Ok(slots) => slots,
+                Err(failure) => {
+                    let reason = match failure.outcome {
+                        LockOutcome::NotAllocated => AbortReason::BadAddress(failure.addr),
+                        _ => AbortReason::LockConflict(failure.addr),
+                    };
+                    return Err(self.abort(reason));
+                }
+            };
+            // Register the held locks before primary-side LOCK processing so
+            // a mid-batch failure unwinds them too.
+            let mut slot_iter = slots.into_iter();
+            for (ii, intent) in self.plan.groups[gi].intents.iter().enumerate() {
+                if !intent.needs_lock() {
+                    continue;
+                }
+                let slot = slot_iter.next().expect("one slot per lockable intent");
+                self.locked.push(HeldLock {
+                    group: gi,
+                    intent: ii,
+                    slot,
+                    old_addr: None,
+                    truncated: false,
+                });
+            }
+            // Primary-side LOCK processing: in multi-version mode, copy the
+            // current version of every locked object (updates and frees
+            // alike — a free preserves history identically) into old-version
+            // memory while holding the lock.
+            if let EngineMode::FarmV2 {
+                multi_version: true,
+                mv_policy,
+            } = self.engine.config().mode
+            {
+                let primary = self.plan.groups[gi].primary;
+                let start = self.locked.len() - lockable;
+                for li in start..self.locked.len() {
+                    let snapshot = self.locked[li].slot.header_snapshot();
+                    let old = OldVersion {
+                        ts: snapshot.ts,
+                        ovp: snapshot.ovp,
+                        data: self.locked[li].slot.raw_data(),
+                    };
+                    match self.allocate_old_version(primary, old, mv_policy) {
+                        Ok(addr) => {
+                            self.locked[li].old_addr = Some(addr);
+                            EngineStats::bump(&self.engine.stats.old_versions_allocated);
+                        }
+                        Err(AbortReason::OldVersionMemoryExhausted)
+                            if mv_policy == MvPolicy::Truncate =>
+                        {
+                            EngineStats::bump(&self.engine.stats.oldver_truncations);
+                            self.locked[li].truncated = true;
+                        }
+                        Err(reason) => return Err(self.abort(reason)),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates an old version at `primary`, applying the configured policy
+    /// when old-version memory is exhausted. The coordinator thread performs
+    /// the allocation directly on the primary's store, standing in for the
+    /// primary thread that processes the LOCK batch.
+    fn allocate_old_version(
+        &self,
+        primary: NodeId,
+        old: OldVersion,
+        policy: MvPolicy,
+    ) -> Result<OldAddr, AbortReason> {
+        const MAX_BLOCK_RETRIES: u32 = 1_000;
+        let store = Arc::clone(self.engine.cluster().node(primary).old_versions());
+        let mut attempt = 0;
+        loop {
+            // The allocator map lock is scoped to one allocation attempt:
+            // a writer blocked on old-version memory (MV-BLOCK) must not
+            // stall every other committer on this node while it sleeps.
+            let allocated = {
+                let mut allocators = self.engine.old_alloc.lock();
+                let allocator = allocators
+                    .entry(primary)
+                    .or_insert_with(|| farm_memory::ThreadOldAllocator::new(Arc::clone(&store)));
+                allocator.allocate(old.clone())
+            };
+            match allocated {
+                Ok(addr) => return Ok(addr),
+                Err(_) => match policy {
+                    MvPolicy::Abort => {
+                        EngineStats::bump(&self.engine.stats.aborts_oldver_memory);
+                        return Err(AbortReason::OldVersionMemoryExhausted);
+                    }
+                    MvPolicy::Truncate => return Err(AbortReason::OldVersionMemoryExhausted),
+                    MvPolicy::Block => {
+                        attempt += 1;
+                        EngineStats::bump(&self.engine.stats.oldver_blocks);
+                        if attempt > MAX_BLOCK_RETRIES {
+                            return Err(AbortReason::OldVersionMemoryExhausted);
+                        }
+                        // Try to make progress: reclaim anything below the
+                        // current GC safe point (re-read every retry — the
+                        // point advances while we wait), then back off.
+                        let gc_point = self.engine.cluster().node(primary).gc_safe_point();
+                        store.collect(gc_point);
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                },
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write timestamp
+    // ------------------------------------------------------------------
+
+    /// Acquires the write timestamp. Serializable transactions (and strict SI
+    /// transactions) wait out the uncertainty; non-strict SI takes the upper
+    /// bound without waiting. The `unsafe_skip_write_wait` ablation skips the
+    /// wait entirely, which breaks serializability (Section 7.3).
+    fn phase_acquire_write_ts(&mut self, si: bool) {
+        let clock = Arc::clone(self.engine.handle().clock());
+        if self.engine.config().unsafe_skip_write_wait {
+            let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
+            self.write_ts = ts.as_nanos();
+            return;
+        }
+        let mode = if si && !self.opts.strict {
+            TsMode::NonStrictUpper
+        } else {
+            TsMode::StrictWait
+        };
+        let (ts, waited) = clock.get_ts(mode);
+        if waited > 0 {
+            EngineStats::bump(&self.engine.stats.write_waits);
+            EngineStats::add(&self.engine.stats.write_wait_ns, waited);
+        }
+        self.write_ts = ts.as_nanos();
+    }
+
+    // ------------------------------------------------------------------
+    // VALIDATE
+    // ------------------------------------------------------------------
+
+    /// Read validation with one-sided header reads. FaRMv2 (serializable)
+    /// validates reads that were not written; the baseline validates every
+    /// read — including those of read-only transactions — against the exact
+    /// version observed.
+    fn phase_validate(&mut self) -> Result<(), TxError> {
+        let written: std::collections::HashSet<Addr> = self
+            .plan
+            .groups
+            .iter()
+            .flat_map(|g| g.intents.iter().map(|i| i.addr))
+            .collect();
+        for (&addr, &observed) in &self.read_set {
+            if written.contains(&addr) {
+                continue;
+            }
+            let ok = match self.engine.primary_region_of(addr) {
+                Ok((_primary, region)) => match region.slot(addr) {
+                    Ok(slot) => {
+                        // Validation is a one-sided RDMA read of the header.
+                        self.engine.meter.read(16);
+                        let h = slot.header_snapshot();
+                        if self.baseline {
+                            !h.locked && !h.tombstone && h.ts == observed
+                        } else {
+                            // The snapshot is still current iff no version
+                            // (or tombstone) newer than the read timestamp
+                            // was installed (Algorithm 2, line 19).
+                            !h.locked && !h.tombstone && h.ts <= self.read_ts
+                        }
+                    }
+                    Err(_) => false,
+                },
+                Err(_) => false,
+            };
+            if !ok {
+                return Err(self.abort(AbortReason::ValidationFailed(addr)));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // COMMIT-BACKUP
+    // ------------------------------------------------------------------
+
+    /// One RDMA write per **backup destination** carrying the transaction's
+    /// entire payload for that machine, acknowledged by the NIC only.
+    fn phase_replicate_backups(&mut self) {
+        for (_node, ops, bytes) in self.plan.backup_destinations() {
+            self.engine.meter.write_batch(ops, bytes);
+            self.engine.meter.ack();
+            EngineStats::bump(&self.engine.stats.backup_batches);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // COMMIT-PRIMARY
+    // ------------------------------------------------------------------
+
+    /// One batched install message per destination primary: updates install
+    /// and unlock, frees tombstone (multi-version) or clear (single-version),
+    /// allocs initialize.
+    fn phase_install_primary(&mut self) {
+        // Message accounting: one RDMA write per destination primary.
+        for (_node, ops, bytes) in self.plan.primary_destinations() {
+            self.engine.meter.write_batch(ops, bytes);
+            EngineStats::bump(&self.engine.stats.primary_batches);
+        }
+
+        let multi_version = self.engine.config().mode.is_multi_version();
+        let mut max_version = 0u64;
+
+        // Apply the held locks (updates and frees) in acquisition order.
+        for held in &self.locked {
+            let group = &self.plan.groups[held.group];
+            let intent = &group.intents[held.intent];
+            let new_ts = if self.baseline {
+                // Baseline "timestamps" are per-object version counters.
+                let v = intent.expected_ts + 1;
+                max_version = max_version.max(v);
+                v
+            } else {
+                self.write_ts
+            };
+            let ovp = if multi_version && !held.truncated {
+                if let Some(old_addr) = held.old_addr {
+                    // The old version becomes reclaimable once the GC safe
+                    // point passes this transaction's write timestamp.
+                    self.engine
+                        .cluster()
+                        .node(group.primary)
+                        .old_versions()
+                        .set_gc_time(old_addr, new_ts);
+                    Some(old_addr)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            match intent.kind {
+                IntentKind::Update => {
+                    held.slot
+                        .install_and_unlock(new_ts, intent.data.clone(), ovp);
+                }
+                IntentKind::Free if multi_version => {
+                    // A multi-version free preserves history exactly as an
+                    // update does: the slot becomes a tombstone anchoring the
+                    // old-version chain, and is reclaimed by the GC sweep
+                    // once the safe point passes `new_ts`.
+                    held.slot.install_tombstone_and_unlock(new_ts, ovp);
+                    group.region_handle.note_tombstone(intent.addr, new_ts);
+                }
+                IntentKind::Free => {
+                    held.slot.clear();
+                    let _ = group.region_handle.free(intent.addr);
+                }
+                IntentKind::Alloc => unreachable!("allocs take no lock"),
+            }
+        }
+        // Initialize newly allocated objects at their primaries.
+        for group in &self.plan.groups {
+            for intent in group.intents.iter().filter(|i| i.kind == IntentKind::Alloc) {
+                if let Ok(slot) = group.region_handle.slot(intent.addr) {
+                    let ts = if self.baseline { 1 } else { self.write_ts };
+                    slot.initialize(ts, intent.data.clone());
+                }
+            }
+        }
+        // Return slots of objects allocated and freed by the same
+        // transaction (they were never visible).
+        for &addr in &self.plan.cancelled_allocs {
+            if let Ok((_p, region)) = self.engine.primary_region_of(addr) {
+                let _ = region.free(addr);
+            }
+        }
+        if self.baseline {
+            self.write_ts = max_version;
+        }
+        self.locked.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // TRUNCATE
+    // ------------------------------------------------------------------
+
+    /// Backups apply the new versions to their replicas — one truncation
+    /// message per backup destination. (In operation-logging mode data is
+    /// not replicated, so this is a no-op.)
+    fn phase_truncate(&mut self) {
+        if self.engine.config().operation_logging {
+            return;
+        }
+        let mut destinations: Vec<NodeId> = Vec::new();
+        for group in &self.plan.groups {
+            let Some(slab_sizes) = self.slab_sizes_of(group) else {
+                continue;
+            };
+            for &backup in &group.backups {
+                if !destinations.contains(&backup) {
+                    destinations.push(backup);
+                }
+                let replica = self
+                    .engine
+                    .cluster()
+                    .node(backup)
+                    .regions()
+                    .ensure(group.region);
+                for (intent, &slab_size) in group.intents.iter().zip(&slab_sizes) {
+                    if slab_size == 0 {
+                        continue;
+                    }
+                    let slab = replica.ensure_slab(intent.addr.slab, slab_size);
+                    let Ok(slot) = slab.slot(intent.addr.slot) else {
+                        continue;
+                    };
+                    match intent.kind {
+                        IntentKind::Free => slot.clear(),
+                        _ => slot.initialize(self.write_ts, intent.data.clone()),
+                    }
+                }
+            }
+        }
+        for _ in &destinations {
+            // Truncations are piggybacked two-sided messages, one per
+            // destination.
+            self.engine.meter.rpc(16);
+            EngineStats::bump(&self.engine.stats.truncate_batches);
+        }
+    }
+
+    /// Object sizes (slab size classes) of a group's intents at the primary,
+    /// used to mirror the slab layout at backups. 0 marks unresolvable slots.
+    fn slab_sizes_of(&self, group: &super::plan::RegionGroup) -> Option<Vec<usize>> {
+        let region = self
+            .engine
+            .cluster()
+            .node(group.primary)
+            .regions()
+            .get(group.region)?;
+        Some(
+            group
+                .intents
+                .iter()
+                .map(|i| {
+                    region
+                        .slab(i.addr.slab)
+                        .map(|s| s.object_size())
+                        .unwrap_or(0)
+                })
+                .collect(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Operation log
+    // ------------------------------------------------------------------
+
+    /// Operation-logging mode: append the transaction description to
+    /// `replication` in-memory logs spread over the cluster (Section 5.6).
+    fn phase_operation_log(&mut self) {
+        let writes: Vec<Addr> = self
+            .plan
+            .groups
+            .iter()
+            .flat_map(|g| {
+                g.intents
+                    .iter()
+                    .filter(|i| i.kind != IntentKind::Free)
+                    .map(|i| i.addr)
+            })
+            .collect();
+        let record = OpLogRecord {
+            coordinator: self.engine.id(),
+            write_ts: self.write_ts,
+            writes,
+        };
+        let members = self.engine.cluster().current_config().members;
+        let replication = self
+            .engine
+            .cluster()
+            .config()
+            .replication
+            .min(members.len());
+        // Load-balance the log replicas by coordinator id + write ts.
+        let start = (self.engine.id().index() + self.write_ts as usize) % members.len();
+        for k in 0..replication {
+            let target = members[(start + k) % members.len()];
+            self.engine.meter.write(64 + record.writes.len() * 8);
+            self.engine.meter.ack();
+            // Store the record at the target node's engine; going through the
+            // cluster keeps this symmetric even though only the local engine
+            // handle is reachable from here.
+            if target == self.engine.id() {
+                self.engine.op_log.lock().push(record.clone());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Abort
+    // ------------------------------------------------------------------
+
+    /// Routes a phase failure through the central unwind step.
+    fn abort(&mut self, reason: AbortReason) -> TxError {
+        unwind(
+            &self.engine,
+            &mut self.locked,
+            &self.alloc_set,
+            self.phase,
+            reason,
+        )
+    }
+}

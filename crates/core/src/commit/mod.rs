@@ -1,0 +1,28 @@
+//! The batched commit protocol, extracted from the transaction API into an
+//! explicit per-phase state machine.
+//!
+//! FaRMv2 gets its throughput from fanning commit messages out **per
+//! destination machine**, not per object: the coordinator sends one LOCK
+//! message (and one COMMIT-BACKUP RDMA write, and one COMMIT-PRIMARY
+//! install) per machine, each carrying that machine's share of the write
+//! set. This module implements that structure in three parts:
+//!
+//! * [`plan`] — groups the write/free/alloc sets by destination primary and
+//!   backup ([`CommitPlan`]), fixing the deterministic global
+//!   address order in which locks are acquired.
+//! * [`driver`] — the [`CommitDriver`] state machine with explicit phases
+//!   (`Lock → [SI: Replicate] → WriteTs → [Ser: Validate → Replicate] →
+//!   InstallPrimary → Truncate → OpLog`), one batched metered message per
+//!   destination per phase.
+//! * [`unwind`] — the single abort path: every failure releases all locks
+//!   held across every destination and rolls back allocations.
+//!
+//! [`Transaction`](crate::Transaction) builds the plan and hands it to the
+//! driver; `tx.rs` itself no longer contains any phase loop.
+
+pub mod driver;
+pub mod plan;
+mod unwind;
+
+pub use driver::{CommitDriver, CommitPhase};
+pub use plan::{CommitPlan, DestinationBatch, IntentKind, RegionGroup, WriteIntent};

@@ -1,0 +1,54 @@
+//! The single abort/unwind step of the commit driver.
+//!
+//! The unbatched protocol had four near-identical copies of the abort path
+//! (write-set lock loop, free-set lock loop, validation, and the baseline's
+//! versions of each). The driver routes **every** phase failure through this
+//! one function: release every lock acquired so far — across all destination
+//! primaries, in reverse acquisition order — roll the transaction's
+//! allocations back, and tally the abort against the phase that failed.
+
+use std::sync::Arc;
+
+use farm_memory::Addr;
+
+use crate::engine::NodeEngine;
+use crate::error::{AbortReason, TxError};
+use crate::stats::EngineStats;
+
+use super::driver::{CommitPhase, HeldLock};
+
+/// Unwinds a failed commit: releases all held locks (reverse order), returns
+/// pre-allocated slots to their slabs, and records per-phase abort
+/// statistics. Returns the error for the caller to propagate.
+pub(crate) fn unwind(
+    engine: &Arc<NodeEngine>,
+    locked: &mut Vec<HeldLock>,
+    alloc_set: &[Addr],
+    phase: CommitPhase,
+    reason: AbortReason,
+) -> TxError {
+    // Locks acquired in ascending global address order are released in
+    // descending order. Old versions allocated for them are left with GC
+    // time 0 — they were never linked, so they are reclaimed with their
+    // block.
+    for held in locked.iter().rev() {
+        held.slot.unlock();
+    }
+    locked.clear();
+    // Return pre-allocated slots (including alloc+free cancellations) to
+    // their slabs.
+    for &addr in alloc_set {
+        if let Ok((_primary, region)) = engine.primary_region_of(addr) {
+            let _ = region.free(addr);
+        }
+    }
+    EngineStats::bump(&engine.stats.unwinds);
+    match phase {
+        CommitPhase::Lock => EngineStats::bump(&engine.stats.aborts_lock),
+        CommitPhase::Validate => EngineStats::bump(&engine.stats.aborts_validation),
+        // Later phases cannot fail in this reproduction (installs are local
+        // stores), but the tally stays total if that ever changes.
+        _ => EngineStats::bump(&engine.stats.aborts_lock),
+    }
+    TxError::Aborted(reason)
+}

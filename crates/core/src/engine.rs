@@ -178,7 +178,10 @@ impl NodeEngine {
         if !self.cluster.node(primary).is_alive() {
             return Err(TxError::Aborted(AbortReason::RegionUnavailable(addr)));
         }
-        Ok((primary, self.cluster.node(primary).regions().ensure(addr.region)))
+        Ok((
+            primary,
+            self.cluster.node(primary).regions().ensure(addr.region),
+        ))
     }
 
     /// Backup replicas of the region holding `addr` (may be empty).
@@ -199,6 +202,22 @@ impl std::fmt::Debug for NodeEngine {
 
 struct EngineHooks;
 impl RecoveryHooks for EngineHooks {}
+
+/// One GC pass on one node: reclaim old-version blocks below the safe point
+/// and sweep tombstoned slots the point has passed. Shared by the background
+/// GC thread and [`Engine::collect_garbage_now`].
+fn collect_node_garbage(handle: &Arc<NodeHandle>) {
+    let gc = handle.gc_safe_point();
+    if gc == 0 {
+        return;
+    }
+    handle.old_versions().collect(gc);
+    for region_id in handle.regions().hosted() {
+        if let Some(region) = handle.regions().get(region_id) {
+            region.sweep_tombstones(gc);
+        }
+    }
+}
 
 /// The cluster-wide engine: one [`NodeEngine`] per machine plus a background
 /// garbage-collection driver that reclaims old-version blocks below each
@@ -237,10 +256,7 @@ impl Engine {
                 while !stop.load(Ordering::Acquire) {
                     for node in &nodes_for_gc {
                         if node.is_alive() {
-                            let gc = node.handle().gc_safe_point();
-                            if gc > 0 {
-                                node.handle().old_versions().collect(gc);
-                            }
+                            collect_node_garbage(node.handle());
                         }
                     }
                     std::thread::sleep(interval);
@@ -289,13 +305,11 @@ impl Engine {
             .fold(EngineStatsSnapshot::default(), |acc, s| acc.merged(&s))
     }
 
-    /// Runs one old-version GC pass on every node immediately.
+    /// Runs one old-version GC pass (including tombstone sweeps) on every
+    /// node immediately.
     pub fn collect_garbage_now(&self) {
         for node in &self.nodes {
-            let gc = node.handle().gc_safe_point();
-            if gc > 0 {
-                node.handle().old_versions().collect(gc);
-            }
+            collect_node_garbage(node.handle());
         }
     }
 
@@ -350,7 +364,10 @@ mod tests {
         }
         let node = engine.node(NodeId(1));
         let err = node.begin_stale_readonly(1).unwrap_err();
-        assert!(matches!(err, TxError::Aborted(AbortReason::SnapshotTooStale { .. })));
+        assert!(matches!(
+            err,
+            TxError::Aborted(AbortReason::SnapshotTooStale { .. })
+        ));
         engine.shutdown();
     }
 }

@@ -95,7 +95,11 @@ mod tests {
     use farm_memory::RegionId;
 
     fn addr() -> Addr {
-        Addr { region: RegionId(0), slab: 0, slot: 0 }
+        Addr {
+            region: RegionId(0),
+            slab: 0,
+            slot: 0,
+        }
     }
 
     #[test]

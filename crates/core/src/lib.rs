@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod commit;
 pub mod engine;
 pub mod error;
 pub mod opts;
@@ -53,6 +54,7 @@ pub mod readonly;
 pub mod stats;
 pub mod tx;
 
+pub use commit::{CommitDriver, CommitPhase};
 pub use engine::{Engine, NodeEngine};
 pub use error::{AbortReason, TxError};
 pub use opts::{EngineConfig, EngineMode, IsolationLevel, MvPolicy, TxOptions};

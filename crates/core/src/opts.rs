@@ -48,17 +48,29 @@ pub enum EngineMode {
 impl EngineMode {
     /// FaRMv2 in single-version mode (the paper's default for TPC-C).
     pub fn farmv2_single_version() -> Self {
-        EngineMode::FarmV2 { multi_version: false, mv_policy: MvPolicy::Truncate }
+        EngineMode::FarmV2 {
+            multi_version: false,
+            mv_policy: MvPolicy::Truncate,
+        }
     }
 
     /// FaRMv2 in multi-version mode with the given out-of-memory policy.
     pub fn farmv2_multi_version(policy: MvPolicy) -> Self {
-        EngineMode::FarmV2 { multi_version: true, mv_policy: policy }
+        EngineMode::FarmV2 {
+            multi_version: true,
+            mv_policy: policy,
+        }
     }
 
     /// Whether this mode maintains old versions.
     pub fn is_multi_version(&self) -> bool {
-        matches!(self, EngineMode::FarmV2 { multi_version: true, .. })
+        matches!(
+            self,
+            EngineMode::FarmV2 {
+                multi_version: true,
+                ..
+            }
+        )
     }
 
     /// Whether this is the FaRMv1-style baseline.
@@ -103,12 +115,18 @@ impl EngineConfig {
     /// FaRMv2 with multi-versioning enabled (MV-TRUNCATE by default, as in
     /// production).
     pub fn multi_version() -> Self {
-        EngineConfig { mode: EngineMode::farmv2_multi_version(MvPolicy::Truncate), ..Default::default() }
+        EngineConfig {
+            mode: EngineMode::farmv2_multi_version(MvPolicy::Truncate),
+            ..Default::default()
+        }
     }
 
     /// The FaRMv1-style baseline.
     pub fn baseline() -> Self {
-        EngineConfig { mode: EngineMode::Baseline, ..Default::default() }
+        EngineConfig {
+            mode: EngineMode::Baseline,
+            ..Default::default()
+        }
     }
 }
 
@@ -129,7 +147,11 @@ pub struct TxOptions {
 
 impl Default for TxOptions {
     fn default() -> Self {
-        TxOptions { isolation: IsolationLevel::Serializable, strict: true, write_hint: false }
+        TxOptions {
+            isolation: IsolationLevel::Serializable,
+            strict: true,
+            write_hint: false,
+        }
     }
 }
 
@@ -141,18 +163,28 @@ impl TxOptions {
 
     /// Non-strict serializability.
     pub fn serializable_non_strict() -> Self {
-        TxOptions { strict: false, ..Self::default() }
+        TxOptions {
+            strict: false,
+            ..Self::default()
+        }
     }
 
     /// Strict snapshot isolation.
     pub fn snapshot_isolation() -> Self {
-        TxOptions { isolation: IsolationLevel::SnapshotIsolation, ..Self::default() }
+        TxOptions {
+            isolation: IsolationLevel::SnapshotIsolation,
+            ..Self::default()
+        }
     }
 
     /// Non-strict snapshot isolation (the configuration of the Section 5.6
     /// comparison).
     pub fn snapshot_isolation_non_strict() -> Self {
-        TxOptions { isolation: IsolationLevel::SnapshotIsolation, strict: false, write_hint: false }
+        TxOptions {
+            isolation: IsolationLevel::SnapshotIsolation,
+            strict: false,
+            write_hint: false,
+        }
     }
 }
 

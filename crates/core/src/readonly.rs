@@ -38,7 +38,11 @@ impl ParallelQuery {
         // called.
         master.register_active(u64::MAX - read_ts, read_ts);
         drop(tx);
-        ParallelQuery { engine: Arc::clone(engine), master_node, read_ts }
+        ParallelQuery {
+            engine: Arc::clone(engine),
+            master_node,
+            read_ts,
+        }
     }
 
     /// The snapshot every slave executes against.
@@ -78,7 +82,9 @@ impl ParallelQuery {
     /// Completes the query, releasing the snapshot so garbage collection can
     /// advance past it.
     pub fn finish(self) {
-        self.engine.node(self.master_node).unregister_active(u64::MAX - self.read_ts);
+        self.engine
+            .node(self.master_node)
+            .unregister_active(u64::MAX - self.read_ts);
     }
 }
 
@@ -116,7 +122,11 @@ mod tests {
         let values = query
             .map_nodes(&nodes, |_engine, tx| tx.read(addr).map(|b| b[0]))
             .unwrap();
-        assert_eq!(values, vec![2, 2, 2], "slaves must read at the query snapshot");
+        assert_eq!(
+            values,
+            vec![2, 2, 2],
+            "slaves must read at the query snapshot"
+        );
         query.finish();
         engine.shutdown();
     }

@@ -1,4 +1,5 @@
-//! Per-node engine statistics (commits, aborts, latencies, waits).
+//! Per-node engine statistics (commits, aborts, latencies, waits) and
+//! per-phase commit-protocol counters (batches sent, batch sizes, unwinds).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,6 +31,21 @@ pub struct EngineStats {
     pub oldver_blocks: AtomicU64,
     /// Times history was truncated due to memory pressure (MV-TRUNCATE).
     pub oldver_truncations: AtomicU64,
+    // ---- Batched commit-protocol phase counters -------------------------
+    /// LOCK batches sent (one per destination primary per commit attempt).
+    pub lock_batches: AtomicU64,
+    /// Objects carried by all LOCK batches (mean batch size =
+    /// `lock_batch_objects / lock_batches`).
+    pub lock_batch_objects: AtomicU64,
+    /// COMMIT-BACKUP batches sent (one per backup destination).
+    pub backup_batches: AtomicU64,
+    /// COMMIT-PRIMARY batches sent (one per destination primary).
+    pub primary_batches: AtomicU64,
+    /// TRUNCATE batches sent (one per backup destination).
+    pub truncate_batches: AtomicU64,
+    /// Abort unwinds executed by the commit driver (locks released across
+    /// every destination, allocations rolled back).
+    pub unwinds: AtomicU64,
 }
 
 /// Point-in-time copy of [`EngineStats`].
@@ -59,6 +75,18 @@ pub struct EngineStatsSnapshot {
     pub oldver_blocks: u64,
     /// MV-TRUNCATE truncations.
     pub oldver_truncations: u64,
+    /// LOCK batches sent.
+    pub lock_batches: u64,
+    /// Objects across all LOCK batches.
+    pub lock_batch_objects: u64,
+    /// COMMIT-BACKUP batches sent.
+    pub backup_batches: u64,
+    /// COMMIT-PRIMARY batches sent.
+    pub primary_batches: u64,
+    /// TRUNCATE batches sent.
+    pub truncate_batches: u64,
+    /// Commit-driver abort unwinds.
+    pub unwinds: u64,
 }
 
 impl EngineStats {
@@ -77,7 +105,25 @@ impl EngineStats {
             old_version_reads: self.old_version_reads.load(Ordering::Relaxed),
             oldver_blocks: self.oldver_blocks.load(Ordering::Relaxed),
             oldver_truncations: self.oldver_truncations.load(Ordering::Relaxed),
+            lock_batches: self.lock_batches.load(Ordering::Relaxed),
+            lock_batch_objects: self.lock_batch_objects.load(Ordering::Relaxed),
+            backup_batches: self.backup_batches.load(Ordering::Relaxed),
+            primary_batches: self.primary_batches.load(Ordering::Relaxed),
+            truncate_batches: self.truncate_batches.load(Ordering::Relaxed),
+            unwinds: self.unwinds.load(Ordering::Relaxed),
         }
+    }
+
+    /// Bumps one counter by `n` (convenience used by the commit driver).
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bumps one counter by 1.
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -114,6 +160,15 @@ impl EngineStatsSnapshot {
         }
     }
 
+    /// Mean number of objects per LOCK batch (0 when no batches were sent).
+    pub fn mean_lock_batch_size(&self) -> f64 {
+        if self.lock_batches == 0 {
+            0.0
+        } else {
+            self.lock_batch_objects as f64 / self.lock_batches as f64
+        }
+    }
+
     /// Element-wise difference `self - earlier`.
     pub fn delta(&self, earlier: &EngineStatsSnapshot) -> EngineStatsSnapshot {
         EngineStatsSnapshot {
@@ -129,6 +184,12 @@ impl EngineStatsSnapshot {
             old_version_reads: self.old_version_reads - earlier.old_version_reads,
             oldver_blocks: self.oldver_blocks - earlier.oldver_blocks,
             oldver_truncations: self.oldver_truncations - earlier.oldver_truncations,
+            lock_batches: self.lock_batches - earlier.lock_batches,
+            lock_batch_objects: self.lock_batch_objects - earlier.lock_batch_objects,
+            backup_batches: self.backup_batches - earlier.backup_batches,
+            primary_batches: self.primary_batches - earlier.primary_batches,
+            truncate_batches: self.truncate_batches - earlier.truncate_batches,
+            unwinds: self.unwinds - earlier.unwinds,
         }
     }
 
@@ -147,6 +208,12 @@ impl EngineStatsSnapshot {
             old_version_reads: self.old_version_reads + other.old_version_reads,
             oldver_blocks: self.oldver_blocks + other.oldver_blocks,
             oldver_truncations: self.oldver_truncations + other.oldver_truncations,
+            lock_batches: self.lock_batches + other.lock_batches,
+            lock_batch_objects: self.lock_batch_objects + other.lock_batch_objects,
+            backup_batches: self.backup_batches + other.backup_batches,
+            primary_batches: self.primary_batches + other.primary_batches,
+            truncate_batches: self.truncate_batches + other.truncate_batches,
+            unwinds: self.unwinds + other.unwinds,
         }
     }
 }
@@ -160,20 +227,30 @@ mod tests {
         let s = EngineStats::default();
         s.commits_rw.store(10, Ordering::Relaxed);
         s.aborts_lock.store(2, Ordering::Relaxed);
+        s.lock_batches.store(4, Ordering::Relaxed);
+        s.lock_batch_objects.store(12, Ordering::Relaxed);
         let a = s.snapshot();
         s.commits_rw.store(15, Ordering::Relaxed);
+        s.lock_batches.store(6, Ordering::Relaxed);
         let b = s.snapshot();
         let d = b.delta(&a);
         assert_eq!(d.commits_rw, 5);
         assert_eq!(d.aborts_lock, 0);
+        assert_eq!(d.lock_batches, 2);
         let m = a.merged(&b);
         assert_eq!(m.commits_rw, 25);
         assert_eq!(m.aborts(), 4);
+        assert_eq!(m.lock_batches, 10);
+        assert_eq!(m.lock_batch_objects, 24);
     }
 
     #[test]
     fn abort_rate_and_mean_wait() {
-        let mut snap = EngineStatsSnapshot { commits_rw: 98, aborts_lock: 2, ..Default::default() };
+        let mut snap = EngineStatsSnapshot {
+            commits_rw: 98,
+            aborts_lock: 2,
+            ..Default::default()
+        };
         assert!((snap.abort_rate() - 0.02).abs() < 1e-9);
         snap.write_waits = 4;
         snap.write_wait_ns = 40_000;
@@ -181,5 +258,16 @@ mod tests {
         let idle = EngineStatsSnapshot::default();
         assert_eq!(idle.abort_rate(), 0.0);
         assert_eq!(idle.mean_write_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn mean_lock_batch_size() {
+        let snap = EngineStatsSnapshot {
+            lock_batches: 4,
+            lock_batch_objects: 10,
+            ..Default::default()
+        };
+        assert_eq!(snap.mean_lock_batch_size(), 2.5);
+        assert_eq!(EngineStatsSnapshot::default().mean_lock_batch_size(), 0.0);
     }
 }

@@ -1,16 +1,23 @@
-//! Transactions: snapshot reads, buffered writes, and the commit protocol.
+//! Transactions: the execution-phase API — snapshot reads, buffered writes,
+//! allocation and freeing.
+//!
+//! The commit protocol itself lives in [`crate::commit`]: `commit` builds a
+//! [`CommitPlan`](crate::commit::CommitPlan) grouping the transaction's
+//! sets by destination machine and hands it to the
+//! [`CommitDriver`](crate::commit::CommitDriver) phase state machine.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use farm_clock::TsMode;
-use farm_memory::{Addr, ConsistentRead, LockOutcome, OldVersion, RegionId};
-use farm_net::Verb;
+use farm_memory::{Addr, ConsistentRead, OldAddr, OldVersion, RegionId};
 
-use crate::engine::{NodeEngine, OpLogRecord};
+use crate::commit::{CommitDriver, CommitPlan};
+use crate::engine::NodeEngine;
 use crate::error::{AbortReason, TxError};
-use crate::opts::{EngineMode, IsolationLevel, MvPolicy, TxOptions};
+use crate::opts::{IsolationLevel, TxOptions};
+use crate::stats::EngineStats;
 
 /// Information about a successful commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,20 +26,6 @@ pub struct CommitInfo {
     pub read_ts: u64,
     /// The write timestamp, for read-write transactions.
     pub write_ts: Option<u64>,
-}
-
-/// Internal record of one locked write-set entry.
-struct LockedWrite {
-    addr: Addr,
-    /// Version the object had when read (and locked at).
-    expected_ts: u64,
-    /// New payload to install.
-    data: Bytes,
-    /// Old version allocated at the primary during LOCK (multi-version mode).
-    old_addr: Option<farm_memory::OldAddr>,
-    /// Whether history was truncated for this object (MV-TRUNCATE under
-    /// memory pressure).
-    truncated: bool,
 }
 
 /// A FaRMv2 (or baseline) transaction. Created by
@@ -53,8 +46,6 @@ pub struct Transaction {
     read_set: HashMap<Addr, u64>,
     /// Buffered writes: addr → new payload.
     write_set: HashMap<Addr, Bytes>,
-    /// Deterministic write ordering for the LOCK phase.
-    write_order: Vec<Addr>,
     /// Objects allocated by this transaction (payload installed at commit).
     alloc_set: Vec<Addr>,
     /// Objects freed by this transaction.
@@ -72,7 +63,11 @@ impl Transaction {
         let read_ts = if baseline {
             0
         } else {
-            let mode = if opts.strict { TsMode::StrictWait } else { TsMode::NonStrictRead };
+            let mode = if opts.strict {
+                TsMode::StrictWait
+            } else {
+                TsMode::NonStrictRead
+            };
             let (ts, _waited) = engine.handle().clock().get_ts(mode);
             ts.as_nanos()
         };
@@ -85,7 +80,6 @@ impl Transaction {
             stale_readonly: false,
             read_set: HashMap::new(),
             write_set: HashMap::new(),
-            write_order: Vec::new(),
             alloc_set: Vec::new(),
             free_set: Vec::new(),
             finished: false,
@@ -103,7 +97,6 @@ impl Transaction {
             stale_readonly: true,
             read_set: HashMap::new(),
             write_set: HashMap::new(),
-            write_order: Vec::new(),
             alloc_set: Vec::new(),
             free_set: Vec::new(),
             finished: false,
@@ -136,7 +129,6 @@ impl Transaction {
         if let Some(buffered) = self.write_set.get(&addr) {
             return Ok(buffered.clone());
         }
-        let multi_version = self.engine.config().mode.is_multi_version();
         let baseline = self.engine.config().mode.is_baseline();
         let (primary, region) = self.engine.primary_region_of(addr)?;
         let slot = region
@@ -158,6 +150,16 @@ impl Transaction {
                     std::hint::spin_loop();
                     continue;
                 }
+                ConsistentRead::Tombstone { ts, ovp } => {
+                    if baseline || ts <= self.read_ts {
+                        // The object was already freed at our snapshot.
+                        return Err(self.execution_abort(AbortReason::BadAddress(addr)));
+                    }
+                    // Freed after our snapshot: the pre-free history hangs
+                    // off the tombstone exactly as off a too-new head
+                    // version.
+                    return self.read_old_chain(primary, addr, ovp);
+                }
                 ConsistentRead::Value { ts, ovp, data } => {
                     if baseline {
                         // FaRMv1: no snapshot — the latest committed version
@@ -171,41 +173,55 @@ impl Transaction {
                         return Ok(data);
                     }
                     // The head version is newer than our snapshot.
-                    if !multi_version {
-                        return Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)));
-                    }
-                    // Eager validation (Section 4.7): a serializable
-                    // transaction that has written (or hints it will write)
-                    // would fail validation anyway, so abort now.
-                    if self.opts.isolation == IsolationLevel::Serializable
-                        && (self.opts.write_hint || !self.write_set.is_empty())
-                    {
-                        return Err(self.execution_abort(AbortReason::EagerValidation(addr)));
-                    }
-                    // Walk the old-version chain at the primary.
-                    self.engine.stats.old_version_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let store = self.engine.cluster().node(primary).old_versions();
-                    let mut cursor = ovp;
-                    while let Some(old_addr) = cursor {
-                        self.engine.meter.read(64);
-                        match store.resolve(old_addr) {
-                            None => {
-                                return Err(self
-                                    .execution_abort(AbortReason::OldVersionUnavailable(addr)));
-                            }
-                            Some(OldVersion { ts: old_ts, ovp: next, data: old_data }) => {
-                                if old_ts <= self.read_ts {
-                                    self.read_set.insert(addr, old_ts);
-                                    return Ok(old_data);
-                                }
-                                cursor = next;
-                            }
-                        }
-                    }
-                    return Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)));
+                    return self.read_old_chain(primary, addr, ovp);
                 }
             }
         }
+    }
+
+    /// Follows the old-version chain at the primary to find the version
+    /// visible at this transaction's snapshot. Entered when the head version
+    /// (or a tombstone) is newer than the read timestamp.
+    fn read_old_chain(
+        &mut self,
+        primary: farm_net::NodeId,
+        addr: Addr,
+        ovp: Option<OldAddr>,
+    ) -> Result<Bytes, TxError> {
+        if !self.engine.config().mode.is_multi_version() {
+            return Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)));
+        }
+        // Eager validation (Section 4.7): a serializable transaction that has
+        // written (or hints it will write) would fail validation anyway, so
+        // abort now.
+        if self.opts.isolation == IsolationLevel::Serializable
+            && (self.opts.write_hint || !self.write_set.is_empty())
+        {
+            return Err(self.execution_abort(AbortReason::EagerValidation(addr)));
+        }
+        EngineStats::bump(&self.engine.stats.old_version_reads);
+        let store = self.engine.cluster().node(primary).old_versions();
+        let mut cursor = ovp;
+        while let Some(old_addr) = cursor {
+            self.engine.meter.read(64);
+            match store.resolve(old_addr) {
+                None => {
+                    return Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)));
+                }
+                Some(OldVersion {
+                    ts: old_ts,
+                    ovp: next,
+                    data: old_data,
+                }) => {
+                    if old_ts <= self.read_ts {
+                        self.read_set.insert(addr, old_ts);
+                        return Ok(old_data);
+                    }
+                    cursor = next;
+                }
+            }
+        }
+        Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)))
     }
 
     /// Buffers a write of `data` to the object at `addr`. The object is read
@@ -213,13 +229,12 @@ impl Transaction {
     /// version to lock against.
     pub fn write(&mut self, addr: Addr, data: impl Into<Bytes>) -> Result<(), TxError> {
         if self.stale_readonly {
-            return Err(TxError::InvalidOperation("stale snapshot transactions are read-only"));
+            return Err(TxError::InvalidOperation(
+                "stale snapshot transactions are read-only",
+            ));
         }
         if !self.read_set.contains_key(&addr) && !self.alloc_set.contains(&addr) {
             self.read(addr)?;
-        }
-        if !self.write_set.contains_key(&addr) && !self.alloc_set.contains(&addr) {
-            self.write_order.push(addr);
         }
         self.write_set.insert(addr, data.into());
         Ok(())
@@ -240,7 +255,9 @@ impl Transaction {
     /// Allocates a new object initialized with `data` in the given region.
     pub fn alloc_in(&mut self, region: RegionId, data: impl Into<Bytes>) -> Result<Addr, TxError> {
         if self.stale_readonly {
-            return Err(TxError::InvalidOperation("stale snapshot transactions are read-only"));
+            return Err(TxError::InvalidOperation(
+                "stale snapshot transactions are read-only",
+            ));
         }
         let data: Bytes = data.into();
         let primary = self
@@ -249,7 +266,9 @@ impl Transaction {
             .primary_of(region)
             .ok_or(TxError::AllocationFailed)?;
         let replica = self.engine.cluster().node(primary).regions().ensure(region);
-        let addr = replica.allocate(data.len()).map_err(|_| TxError::AllocationFailed)?;
+        let addr = replica
+            .allocate(data.len())
+            .map_err(|_| TxError::AllocationFailed)?;
         self.alloc_set.push(addr);
         self.write_set.insert(addr, data);
         Ok(addr)
@@ -258,9 +277,11 @@ impl Transaction {
     /// Marks the object at `addr` to be freed at commit.
     pub fn free(&mut self, addr: Addr) -> Result<(), TxError> {
         if self.stale_readonly {
-            return Err(TxError::InvalidOperation("stale snapshot transactions are read-only"));
+            return Err(TxError::InvalidOperation(
+                "stale snapshot transactions are read-only",
+            ));
         }
-        if !self.read_set.contains_key(&addr) {
+        if !self.read_set.contains_key(&addr) && !self.alloc_set.contains(&addr) {
             self.read(addr)?;
         }
         self.free_set.push(addr);
@@ -279,475 +300,79 @@ impl Transaction {
     // Commit
     // ------------------------------------------------------------------
 
-    /// Commits the transaction, driving the FaRMv2 commit protocol of
-    /// Figure 3 (or the baseline protocol when the engine is in baseline
-    /// mode). Consumes the transaction either way; on error the transaction
-    /// has aborted and all its locks have been released.
+    /// Commits the transaction by handing its sets to the batched
+    /// [`CommitDriver`] (Figure 3; or the baseline protocol when the engine
+    /// is in baseline mode). Consumes the transaction either way; on error
+    /// the transaction has aborted and all its locks have been released.
     pub fn commit(mut self) -> Result<CommitInfo, TxError> {
-        if self.engine.config().mode.is_baseline() {
-            return self.commit_baseline();
-        }
-        let read_only = self.is_read_only();
-        if read_only {
+        let baseline = self.engine.config().mode.is_baseline();
+        if !baseline && self.is_read_only() {
             // FaRMv2 read-only transactions skip validation entirely:
             // committing is a no-op (Section 4.2).
             self.finish();
-            self.engine.stats.commits_ro.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Ok(CommitInfo { read_ts: self.read_ts, write_ts: None });
+            EngineStats::bump(&self.engine.stats.commits_ro);
+            return Ok(CommitInfo {
+                read_ts: self.read_ts,
+                write_ts: None,
+            });
         }
 
-        // ---------------- LOCK phase ----------------
-        let mut order = self.write_order.clone();
-        order.sort();
-        let mut locked: Vec<LockedWrite> = Vec::with_capacity(order.len());
-        for addr in &order {
-            let data = self.write_set.get(addr).cloned().expect("write set entry");
-            let expected_ts = *self.read_set.get(addr).expect("write implies read");
-            match self.lock_one(*addr, expected_ts, data) {
-                Ok(lw) => locked.push(lw),
+        // Move the sets out of `self`: the driver owns them from here on
+        // (including allocation rollback on abort — `Drop` sees them empty).
+        let write_set = std::mem::take(&mut self.write_set);
+        let free_set = std::mem::take(&mut self.free_set);
+        let alloc_set = std::mem::take(&mut self.alloc_set);
+        let read_set = std::mem::take(&mut self.read_set);
+
+        let plan =
+            match CommitPlan::build(&self.engine, &write_set, &free_set, &alloc_set, &read_set) {
+                Ok(plan) => plan,
                 Err(reason) => {
-                    self.release_locks(&locked);
-                    self.rollback_allocations();
+                    // Hand the allocations back to `self` so the shared
+                    // rollback path (also used by `abort` and `Drop`) frees
+                    // them.
+                    self.alloc_set = alloc_set;
                     self.finish();
-                    self.engine.stats.aborts_lock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    EngineStats::bump(&self.engine.stats.aborts_lock);
+                    self.rollback_allocations();
+                    self.alloc_set.clear();
                     return Err(TxError::Aborted(reason));
                 }
-            }
-        }
-        // Lock freed objects too (a free is a write of "nothing").
-        let free_set = self.free_set.clone();
-        for addr in &free_set {
-            let expected_ts = *self.read_set.get(addr).expect("free implies read");
-            match self.lock_one(*addr, expected_ts, Bytes::new()) {
-                Ok(lw) => locked.push(lw),
-                Err(reason) => {
-                    self.release_locks(&locked);
-                    self.rollback_allocations();
-                    self.finish();
-                    self.engine.stats.aborts_lock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return Err(TxError::Aborted(reason));
-                }
-            }
-        }
-
-        let si = self.opts.isolation == IsolationLevel::SnapshotIsolation;
-
-        // ---------------- COMMIT-BACKUP (SI overlaps the write-ts wait with
-        // replication; serializable transactions send it after validation,
-        // but issuing the RDMA writes earlier is also correct — what matters
-        // for correctness is that locks stay held until after the write
-        // timestamp is in the past and primaries install only after that). --
-        if si {
-            self.replicate_to_backups();
-        }
-
-        // ---------------- Write timestamp ----------------
-        let write_ts = self.acquire_write_ts(si);
-
-        // ---------------- VALIDATE (serializable only) ----------------
-        if !si {
-            if let Err(addr) = self.validate_reads() {
-                self.release_locks(&locked);
-                self.rollback_allocations();
-                self.finish();
-                self.engine.stats.aborts_validation.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return Err(TxError::Aborted(AbortReason::ValidationFailed(addr)));
-            }
-            self.replicate_to_backups();
-        }
-
-        // ---------------- COMMIT-PRIMARY ----------------
-        self.install_at_primaries(&locked, write_ts);
-
-        // ---------------- TRUNCATE (apply at backups) ----------------
-        self.apply_at_backups(write_ts);
-
-        if self.engine.config().operation_logging {
-            self.append_operation_log(write_ts);
-        }
-
+            };
+        let driver = CommitDriver::new(
+            Arc::clone(&self.engine),
+            self.opts,
+            self.read_ts,
+            read_set,
+            alloc_set,
+            plan,
+        );
+        let outcome = driver.run();
         self.finish();
-        self.engine.stats.commits_rw.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(CommitInfo { read_ts: self.read_ts, write_ts: Some(write_ts) })
-    }
-
-    // ------------------------------------------------------------------
-    // Commit-protocol helpers
-    // ------------------------------------------------------------------
-
-    /// Sends one LOCK to the primary of `addr` and, in multi-version mode,
-    /// allocates the old version there.
-    fn lock_one(&self, addr: Addr, expected_ts: u64, data: Bytes) -> Result<LockedWrite, AbortReason> {
-        let (primary, region) = match self.engine.primary_region_of(addr) {
-            Ok(x) => x,
-            Err(_) => return Err(AbortReason::RegionUnavailable(addr)),
-        };
-        let slot = region.slot(addr).map_err(|_| AbortReason::BadAddress(addr))?;
-        // LOCK is a two-sided message processed by the primary's CPU.
-        self.engine.handle().stats().record(Verb::Rpc, 64 + data.len());
-        match slot.try_lock_at(expected_ts) {
-            LockOutcome::Acquired => {}
-            LockOutcome::Conflict => return Err(AbortReason::LockConflict(addr)),
-            LockOutcome::VersionChanged { .. } => return Err(AbortReason::LockConflict(addr)),
-            LockOutcome::NotAllocated => return Err(AbortReason::BadAddress(addr)),
-        }
-        // In multi-version mode the primary copies the current version into
-        // old-version memory while holding the lock, so the head version's
-        // location never changes (Section 4.4).
-        let mode = self.engine.config().mode;
-        let (old_addr, truncated) = if let EngineMode::FarmV2 { multi_version: true, mv_policy } = mode {
-            let snapshot = slot.header_snapshot();
-            let old = OldVersion { ts: snapshot.ts, ovp: snapshot.ovp, data: slot.raw_data() };
-            match self.allocate_old_version(primary, old, mv_policy) {
-                Ok(a) => (Some(a), false),
-                Err(AbortReason::OldVersionMemoryExhausted) if mv_policy == MvPolicy::Truncate => {
-                    self.engine
-                        .stats
-                        .oldver_truncations
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    (None, true)
-                }
-                Err(reason) => {
-                    slot.unlock();
-                    return Err(reason);
-                }
+        match outcome {
+            Ok(Some(write_ts)) => {
+                EngineStats::bump(&self.engine.stats.commits_rw);
+                let read_ts = if baseline { 0 } else { self.read_ts };
+                Ok(CommitInfo {
+                    read_ts,
+                    write_ts: Some(write_ts),
+                })
             }
-        } else {
-            (None, false)
-        };
-        if old_addr.is_some() {
-            self.engine
-                .stats
-                .old_versions_allocated
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
-        Ok(LockedWrite { addr, expected_ts, data, old_addr, truncated })
-    }
-
-    /// Allocates an old version at `primary`, applying the configured policy
-    /// when old-version memory is exhausted.
-    fn allocate_old_version(
-        &self,
-        primary: farm_net::NodeId,
-        old: OldVersion,
-        policy: MvPolicy,
-    ) -> Result<farm_memory::OldAddr, AbortReason> {
-        // The primary-side allocation: in this reproduction the coordinator
-        // thread performs it directly on the primary's old-version store,
-        // standing in for the primary thread that processes the LOCK message.
-        // One allocator (and therefore one active block) is kept per primary.
-        let store = Arc::clone(self.engine.cluster().node(primary).old_versions());
-        let gc_point = self.engine.cluster().node(primary).gc_safe_point();
-        let mut allocators = self.engine.old_alloc.lock();
-        let allocator = allocators
-            .entry(primary)
-            .or_insert_with(|| farm_memory::ThreadOldAllocator::new(Arc::clone(&store)));
-        Self::allocate_with_policy(allocator, &store, gc_point, old, policy, &self.engine)
-    }
-
-    fn allocate_with_policy(
-        allocator: &mut farm_memory::ThreadOldAllocator,
-        store: &Arc<farm_memory::OldVersionStore>,
-        gc_point: u64,
-        old: OldVersion,
-        policy: MvPolicy,
-        engine: &Arc<NodeEngine>,
-    ) -> Result<farm_memory::OldAddr, AbortReason> {
-        const MAX_BLOCK_RETRIES: u32 = 1_000;
-        let mut attempt = 0;
-        loop {
-            match allocator.allocate(old.clone()) {
-                Ok(addr) => return Ok(addr),
-                Err(_) => match policy {
-                    MvPolicy::Abort => {
-                        engine
-                            .stats
-                            .aborts_oldver_memory
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return Err(AbortReason::OldVersionMemoryExhausted);
-                    }
-                    MvPolicy::Truncate => return Err(AbortReason::OldVersionMemoryExhausted),
-                    MvPolicy::Block => {
-                        attempt += 1;
-                        engine.stats.oldver_blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if attempt > MAX_BLOCK_RETRIES {
-                            return Err(AbortReason::OldVersionMemoryExhausted);
-                        }
-                        // Try to make progress: reclaim anything below the GC
-                        // safe point, then wait briefly for it to advance.
-                        store.collect(gc_point);
-                        std::thread::sleep(std::time::Duration::from_micros(100));
-                    }
-                },
+            Ok(None) => {
+                // Baseline read-only commit: validated, nothing installed.
+                EngineStats::bump(&self.engine.stats.commits_ro);
+                Ok(CommitInfo {
+                    read_ts: 0,
+                    write_ts: None,
+                })
             }
+            Err(e) => Err(e),
         }
-    }
-
-    /// Acquires the write timestamp. Serializable transactions (and strict SI
-    /// transactions) wait out the uncertainty; non-strict SI takes the upper
-    /// bound without waiting. The `unsafe_skip_write_wait` ablation skips the
-    /// wait entirely, which breaks serializability (Section 7.3).
-    fn acquire_write_ts(&self, si: bool) -> u64 {
-        let clock = Arc::clone(self.engine.handle().clock());
-        if self.engine.config().unsafe_skip_write_wait {
-            let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
-            return ts.as_nanos();
-        }
-        let mode = if si && !self.opts.strict { TsMode::NonStrictUpper } else { TsMode::StrictWait };
-        let (ts, waited) = clock.get_ts(mode);
-        if waited > 0 {
-            self.engine.stats.write_waits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.engine
-                .stats
-                .write_wait_ns
-                .fetch_add(waited, std::sync::atomic::Ordering::Relaxed);
-        }
-        ts.as_nanos()
-    }
-
-    /// Read validation: every object read but not written must still be
-    /// unlocked and unchanged since the read (its timestamp must not exceed
-    /// the read timestamp).
-    fn validate_reads(&self) -> Result<(), Addr> {
-        for (&addr, &observed) in &self.read_set {
-            if self.write_set.contains_key(&addr) || self.free_set.contains(&addr) {
-                continue;
-            }
-            let Ok((_primary, region)) = self.engine.primary_region_of(addr) else {
-                return Err(addr);
-            };
-            let Ok(slot) = region.slot(addr) else { return Err(addr) };
-            // Validation is a one-sided RDMA read of the header.
-            self.engine.meter.read(16);
-            let header = slot.header_snapshot();
-            if header.locked {
-                return Err(addr);
-            }
-            // The snapshot is still current iff no version newer than the
-            // read timestamp has been installed (Algorithm 2, line 19).
-            if header.ts > self.read_ts {
-                return Err(addr);
-            }
-            let _ = observed;
-        }
-        Ok(())
-    }
-
-    /// COMMIT-BACKUP: one RDMA write per backup of every written region,
-    /// acknowledged by the NIC only.
-    fn replicate_to_backups(&self) {
-        for (addr, data) in &self.write_set {
-            for _backup in self.engine.backups_of(*addr) {
-                self.engine.meter.write(64 + data.len());
-                self.engine.meter.ack();
-            }
-        }
-        for addr in &self.free_set {
-            for _backup in self.engine.backups_of(*addr) {
-                self.engine.meter.write(64);
-                self.engine.meter.ack();
-            }
-        }
-    }
-
-    /// COMMIT-PRIMARY: install new versions at the primaries and unlock.
-    fn install_at_primaries(&self, locked: &[LockedWrite], write_ts: u64) {
-        for lw in locked {
-            let Ok((primary, region)) = self.engine.primary_region_of(lw.addr) else { continue };
-            let Ok(slot) = region.slot(lw.addr) else { continue };
-            // COMMIT-PRIMARY is an RDMA write processed by the primary's CPU.
-            self.engine.meter.write(64 + lw.data.len());
-            if self.free_set.contains(&lw.addr) {
-                slot.clear();
-                let _ = region.free(lw.addr);
-                continue;
-            }
-            let ovp = if self.engine.config().mode.is_multi_version() && !lw.truncated {
-                if let Some(old_addr) = lw.old_addr {
-                    // The old version becomes reclaimable once the GC safe
-                    // point passes this transaction's write timestamp.
-                    self.engine.cluster().node(primary).old_versions().set_gc_time(old_addr, write_ts);
-                    Some(old_addr)
-                } else {
-                    None
-                }
-            } else {
-                None
-            };
-            slot.install_and_unlock(write_ts, lw.data.clone(), ovp);
-            let _ = lw.expected_ts;
-        }
-        // Newly allocated objects are initialized at their primaries.
-        for addr in &self.alloc_set {
-            let Ok((_primary, region)) = self.engine.primary_region_of(*addr) else { continue };
-            let Ok(slot) = region.slot(*addr) else { continue };
-            let data = self.write_set.get(addr).cloned().unwrap_or_default();
-            self.engine.meter.write(64 + data.len());
-            slot.initialize(write_ts, data);
-        }
-    }
-
-    /// TRUNCATE: backups apply the new versions to their replicas. (In
-    /// operation-logging mode data is not replicated, so this is a no-op.)
-    fn apply_at_backups(&self, write_ts: u64) {
-        if self.engine.config().operation_logging {
-            return;
-        }
-        for (addr, data) in &self.write_set {
-            let Ok((primary, _)) = self.engine.primary_region_of(*addr) else { continue };
-            let Some(slab_size) = self.object_size_at(primary, *addr) else { continue };
-            for backup in self.engine.backups_of(*addr) {
-                let replica = self.engine.cluster().node(backup).regions().ensure(addr.region);
-                let slab = replica.ensure_slab(addr.slab, slab_size);
-                if let Ok(slot) = slab.slot(addr.slot) {
-                    if self.free_set.contains(addr) {
-                        slot.clear();
-                    } else {
-                        slot.initialize(write_ts, data.clone());
-                    }
-                }
-            }
-        }
-        for addr in &self.free_set {
-            if self.write_set.contains_key(addr) {
-                continue;
-            }
-            let Ok((primary, _)) = self.engine.primary_region_of(*addr) else { continue };
-            let Some(slab_size) = self.object_size_at(primary, *addr) else { continue };
-            for backup in self.engine.backups_of(*addr) {
-                let replica = self.engine.cluster().node(backup).regions().ensure(addr.region);
-                let slab = replica.ensure_slab(addr.slab, slab_size);
-                if let Ok(slot) = slab.slot(addr.slot) {
-                    slot.clear();
-                }
-            }
-        }
-    }
-
-    fn object_size_at(&self, primary: farm_net::NodeId, addr: Addr) -> Option<usize> {
-        let region = self.engine.cluster().node(primary).regions().get(addr.region)?;
-        region.slab(addr.slab).map(|s| s.object_size())
-    }
-
-    /// Operation-logging mode: append the transaction description to
-    /// `replication` in-memory logs spread over the cluster (Section 5.6).
-    fn append_operation_log(&self, write_ts: u64) {
-        let record = OpLogRecord {
-            coordinator: self.engine.id(),
-            write_ts,
-            writes: self.write_set.keys().copied().collect(),
-        };
-        let members = self.engine.cluster().current_config().members;
-        let replication = self.engine.cluster().config().replication.min(members.len());
-        // Load-balance the log replicas by coordinator id + write ts.
-        let start = (self.engine.id().index() + write_ts as usize) % members.len();
-        for k in 0..replication {
-            let target = members[(start + k) % members.len()];
-            self.engine.meter.write(64 + record.writes.len() * 8);
-            self.engine.meter.ack();
-            // Store the record at the target node's engine; going through the
-            // cluster keeps this symmetric even though only the local engine
-            // handle is reachable from here.
-            if target == self.engine.id() {
-                self.engine.op_log.lock().push(record.clone());
-            }
-        }
-    }
-
-    /// Baseline (FaRMv1-style) commit: per-object version OCC with validation
-    /// of every read (read-only transactions included) and no timestamps.
-    fn commit_baseline(mut self) -> Result<CommitInfo, TxError> {
-        // LOCK phase for the write set.
-        let mut order = self.write_order.clone();
-        order.sort();
-        order.extend(self.free_set.iter().copied());
-        let mut locked: Vec<LockedWrite> = Vec::new();
-        for addr in order.iter() {
-            let data = self.write_set.get(addr).cloned().unwrap_or_default();
-            let expected_ts = *self.read_set.get(addr).expect("write implies read");
-            match self.lock_one(*addr, expected_ts, data) {
-                Ok(lw) => locked.push(lw),
-                Err(reason) => {
-                    self.release_locks(&locked);
-                    self.rollback_allocations();
-                    self.finish();
-                    self.engine.stats.aborts_lock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return Err(TxError::Aborted(reason));
-                }
-            }
-        }
-        // Validation of every read (FaRMv1 must validate read-only
-        // transactions too, because it has no read snapshots).
-        for (&addr, &observed) in &self.read_set {
-            if self.write_set.contains_key(&addr) || self.free_set.contains(&addr) {
-                continue;
-            }
-            let ok = match self.engine.primary_region_of(addr) {
-                Ok((_p, region)) => match region.slot(addr) {
-                    Ok(slot) => {
-                        self.engine.meter.read(16);
-                        let h = slot.header_snapshot();
-                        !h.locked && h.ts == observed
-                    }
-                    Err(_) => false,
-                },
-                Err(_) => false,
-            };
-            if !ok {
-                self.release_locks(&locked);
-                self.rollback_allocations();
-                self.finish();
-                self.engine.stats.aborts_validation.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return Err(TxError::Aborted(AbortReason::ValidationFailed(addr)));
-            }
-        }
-        if self.is_read_only() {
-            self.finish();
-            self.engine.stats.commits_ro.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Ok(CommitInfo { read_ts: 0, write_ts: None });
-        }
-        // Install: the "version" of each object is a per-object counter, so
-        // the new version is observed + 1.
-        self.replicate_to_backups();
-        let mut max_version = 0;
-        for lw in &locked {
-            let Ok((_p, region)) = self.engine.primary_region_of(lw.addr) else { continue };
-            let Ok(slot) = region.slot(lw.addr) else { continue };
-            self.engine.meter.write(64 + lw.data.len());
-            let new_version = lw.expected_ts + 1;
-            max_version = max_version.max(new_version);
-            if self.free_set.contains(&lw.addr) {
-                slot.clear();
-                let _ = region.free(lw.addr);
-            } else {
-                slot.install_and_unlock(new_version, lw.data.clone(), None);
-            }
-        }
-        for addr in &self.alloc_set {
-            let Ok((_p, region)) = self.engine.primary_region_of(*addr) else { continue };
-            let Ok(slot) = region.slot(*addr) else { continue };
-            let data = self.write_set.get(addr).cloned().unwrap_or_default();
-            slot.initialize(1, data);
-        }
-        self.apply_at_backups(max_version);
-        self.finish();
-        self.engine.stats.commits_rw.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(CommitInfo { read_ts: 0, write_ts: Some(max_version) })
     }
 
     // ------------------------------------------------------------------
     // Abort / cleanup helpers
     // ------------------------------------------------------------------
-
-    fn release_locks(&self, locked: &[LockedWrite]) {
-        for lw in locked {
-            if let Ok((_p, region)) = self.engine.primary_region_of(lw.addr) {
-                if let Ok(slot) = region.slot(lw.addr) {
-                    slot.unlock();
-                }
-            }
-        }
-    }
 
     fn rollback_allocations(&self) {
         for addr in &self.alloc_set {
@@ -758,7 +383,7 @@ impl Transaction {
     }
 
     fn execution_abort(&mut self, reason: AbortReason) -> TxError {
-        self.engine.stats.aborts_execution.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        EngineStats::bump(&self.engine.stats.aborts_execution);
         self.finish();
         self.rollback_allocations();
         TxError::Aborted(reason)

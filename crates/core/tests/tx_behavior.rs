@@ -60,7 +60,11 @@ fn own_writes_are_visible_before_commit() {
 
     let mut tx = node.begin();
     tx.write(addr, vec![9u8]).unwrap();
-    assert_eq!(tx.read(addr).unwrap()[0], 9, "transaction must see its own write");
+    assert_eq!(
+        tx.read(addr).unwrap()[0],
+        9,
+        "transaction must see its own write"
+    );
     // But other transactions must not see it until commit (writes are
     // buffered, Section 3.1).
     let mut other = node.begin();
@@ -84,7 +88,6 @@ fn write_write_conflict_aborts_one_transaction() {
     t2.write(addr, vec![2u8]).unwrap();
     let r1 = t1.commit();
     let r2 = t2.commit();
-    assert!(r1.is_ok() != r2.is_ok() || (r1.is_ok() && r2.is_ok()) == false || true);
     // Exactly one must have succeeded: the second to lock/validate fails.
     assert!(
         r1.is_ok() ^ r2.is_ok(),
@@ -113,7 +116,10 @@ fn read_validation_catches_concurrent_writer() {
     w.commit().unwrap();
     t.write(b, vec![1u8]).unwrap();
     let err = t.commit().unwrap_err();
-    assert!(matches!(err, TxError::Aborted(AbortReason::ValidationFailed(_))), "{err:?}");
+    assert!(
+        matches!(err, TxError::Aborted(AbortReason::ValidationFailed(_))),
+        "{err:?}"
+    );
     engine.shutdown();
 }
 
@@ -134,7 +140,8 @@ fn snapshot_isolation_skips_validation_but_catches_write_conflicts() {
     w.write(a, vec![7u8]).unwrap();
     w.commit().unwrap();
     t.write(b, vec![1u8]).unwrap();
-    t.commit().expect("SI transaction without write conflicts must commit");
+    t.commit()
+        .expect("SI transaction without write conflicts must commit");
 
     // Write-write conflicts still abort under SI (first locker wins).
     let mut t1 = node.begin_with(TxOptions::snapshot_isolation());
@@ -172,7 +179,11 @@ fn opacity_snapshot_reads_are_consistent_even_for_doomed_transactions() {
         // invariant must hold for the values it observes, whatever happens
         // at commit time.
         let vy = reader.read(y).unwrap()[0];
-        assert_eq!(vx as u32 + vy as u32, 100, "opacity violated in round {round}");
+        assert_eq!(
+            vx as u32 + vy as u32,
+            100,
+            "opacity violated in round {round}"
+        );
         let _ = reader.commit();
     }
     engine.shutdown();
@@ -194,7 +205,10 @@ fn single_version_mode_aborts_readers_that_need_old_versions() {
     // ...and then tries to read the object, whose head version is now newer
     // than the snapshot. Without old versions this aborts.
     let err = reader.read(addr).unwrap_err();
-    assert!(matches!(err, TxError::Aborted(AbortReason::OldVersionUnavailable(_))), "{err:?}");
+    assert!(
+        matches!(err, TxError::Aborted(AbortReason::OldVersionUnavailable(_))),
+        "{err:?}"
+    );
     engine.shutdown();
 }
 
@@ -229,14 +243,20 @@ fn eager_validation_aborts_writers_reading_old_versions() {
     let addr = setup.alloc(vec![1u8]).unwrap();
     setup.commit().unwrap();
 
-    let mut rw = node.begin_with(TxOptions { write_hint: true, ..TxOptions::serializable() });
+    let mut rw = node.begin_with(TxOptions {
+        write_hint: true,
+        ..TxOptions::serializable()
+    });
     let mut writer = node.begin();
     writer.write(addr, vec![2u8]).unwrap();
     writer.commit().unwrap();
     // The hinted read-write transaction would fail validation anyway, so the
     // read aborts eagerly instead of returning the old version.
     let err = rw.read(addr).unwrap_err();
-    assert!(matches!(err, TxError::Aborted(AbortReason::EagerValidation(_))), "{err:?}");
+    assert!(
+        matches!(err, TxError::Aborted(AbortReason::EagerValidation(_))),
+        "{err:?}"
+    );
     engine.shutdown();
 }
 
@@ -254,7 +274,10 @@ fn free_makes_object_unreadable_and_reusable() {
 
     let mut reader = node.begin();
     let err = reader.read(addr).unwrap_err();
-    assert!(matches!(err, TxError::Aborted(AbortReason::BadAddress(_))), "{err:?}");
+    assert!(
+        matches!(err, TxError::Aborted(AbortReason::BadAddress(_))),
+        "{err:?}"
+    );
     engine.shutdown();
 }
 
@@ -272,7 +295,11 @@ fn explicit_abort_discards_writes_and_allocations() {
     let _ = tx.abort();
 
     let mut check = node.begin();
-    assert_eq!(check.read(addr).unwrap()[0], 1, "aborted write must not be visible");
+    assert_eq!(
+        check.read(addr).unwrap()[0],
+        1,
+        "aborted write must not be visible"
+    );
     check.commit().unwrap();
     engine.shutdown();
 }
@@ -300,7 +327,10 @@ fn baseline_engine_commits_and_validates_reads() {
     w.write(a, vec![v + 1]).unwrap();
     w.commit().unwrap();
     let err = ro.commit().unwrap_err();
-    assert!(matches!(err, TxError::Aborted(AbortReason::ValidationFailed(_))), "{err:?}");
+    assert!(
+        matches!(err, TxError::Aborted(AbortReason::ValidationFailed(_))),
+        "{err:?}"
+    );
     engine.shutdown();
 }
 
@@ -375,7 +405,10 @@ fn mv_abort_policy_aborts_writers_when_old_version_memory_is_full() {
             failures += 1;
         }
     }
-    assert!(failures > 0, "old-version memory exhaustion must abort some writers");
+    assert!(
+        failures > 0,
+        "old-version memory exhaustion must abort some writers"
+    );
     assert!(engine.aggregate_stats().aborts_oldver_memory > 0);
     engine.shutdown();
 }
@@ -400,7 +433,8 @@ fn mv_truncate_policy_keeps_writers_running_and_aborts_readers_instead() {
     for i in 0..64u8 {
         let mut tx = node.begin();
         tx.write(addr, vec![i; 64]).unwrap();
-        tx.commit().expect("MV-TRUNCATE writers must keep committing");
+        tx.commit()
+            .expect("MV-TRUNCATE writers must keep committing");
     }
     assert!(engine.aggregate_stats().oldver_truncations > 0);
     engine.shutdown();
@@ -434,7 +468,10 @@ fn unsafe_skip_write_wait_removes_the_commit_time_wait() {
     // exactly the property the counterexample exploits (locks may be
     // released while the write timestamp is still in the future).
     let run = |skip: bool| {
-        let engine = engine(EngineConfig { unsafe_skip_write_wait: skip, ..EngineConfig::default() });
+        let engine = engine(EngineConfig {
+            unsafe_skip_write_wait: skip,
+            ..EngineConfig::default()
+        });
         let node = engine.node(NodeId(1));
         let mut setup = node.begin();
         let addr = setup.alloc(vec![0u8]).unwrap();
@@ -451,7 +488,10 @@ fn unsafe_skip_write_wait_removes_the_commit_time_wait() {
     let unsafe_waits = run(true);
     let safe_waits = run(false);
     assert_eq!(unsafe_waits, 0, "the ablation must not wait at commit time");
-    assert!(safe_waits > 0, "the correct protocol must wait out uncertainty at commit time");
+    assert!(
+        safe_waits > 0,
+        "the correct protocol must wait out uncertainty at commit time"
+    );
 }
 
 #[test]

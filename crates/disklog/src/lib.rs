@@ -36,7 +36,10 @@ pub struct DiskBackupConfig {
 
 impl Default for DiskBackupConfig {
     fn default() -> Self {
-        DiskBackupConfig { block_bytes: 4 * 1024, blocks_per_group: 4 * 1024 }
+        DiskBackupConfig {
+            block_bytes: 4 * 1024,
+            blocks_per_group: 4 * 1024,
+        }
     }
 }
 
@@ -99,14 +102,24 @@ impl DiskBackup {
             }
         }
         let need = payload.len() + 16;
-        if self.blocks.last().map(|b| b.used + need > self.config.block_bytes).unwrap_or(true) {
+        if self
+            .blocks
+            .last()
+            .map(|b| b.used + need > self.config.block_bytes)
+            .unwrap_or(true)
+        {
             self.blocks.push(Block::default());
         }
         let block_id = self.blocks.len() - 1;
         let block = self.blocks.last_mut().expect("block exists");
-        block.entries.push(LogEntry { object, write_ts, len: payload.len() });
+        block.entries.push(LogEntry {
+            object,
+            write_ts,
+            len: payload.len(),
+        });
         block.used += need;
-        self.redirection.insert(object, (block_id % u16::MAX as usize) as u16);
+        self.redirection
+            .insert(object, (block_id % u16::MAX as usize) as u16);
         self.versions.insert(object, write_ts);
     }
 
@@ -185,7 +198,10 @@ mod tests {
 
     #[test]
     fn blocks_roll_over_when_full() {
-        let mut b = DiskBackup::new(DiskBackupConfig { block_bytes: 256, blocks_per_group: 16 });
+        let mut b = DiskBackup::new(DiskBackupConfig {
+            block_bytes: 256,
+            blocks_per_group: 16,
+        });
         for i in 0..50u64 {
             b.apply_update(i, i + 1, &[0u8; 100]);
         }

@@ -93,7 +93,9 @@ impl BTree {
     /// Removes `key` within `tx`, returning whether it was present.
     pub fn remove(&self, tx: &mut Transaction, key: u64) -> Result<bool, TxError> {
         let existing = { self.directory.read().get(&key).copied() };
-        let Some(leaf) = existing else { return Ok(false) };
+        let Some(leaf) = existing else {
+            return Ok(false);
+        };
         tx.free(leaf)?;
         self.directory.write().remove(&key);
         Ok(true)
@@ -164,7 +166,11 @@ mod tests {
         let scanned = tree.scan(&mut tx, 3, 3).unwrap();
         assert_eq!(
             scanned,
-            vec![(3, b"v3".to_vec()), (5, b"v5".to_vec()), (7, b"v7".to_vec())]
+            vec![
+                (3, b"v3".to_vec()),
+                (5, b"v5".to_vec()),
+                (7, b"v7".to_vec())
+            ]
         );
         tx.commit().unwrap();
 
@@ -226,7 +232,10 @@ mod tests {
         tree.put(&mut writer, 5, b"1").unwrap();
         writer.commit().unwrap();
         let err = tree.scan(&mut scanner, 0, 10).unwrap_err();
-        assert!(err.is_retryable(), "single-version scan over updated keys must abort: {err:?}");
+        assert!(
+            err.is_retryable(),
+            "single-version scan over updated keys must abort: {err:?}"
+        );
         engine.shutdown();
     }
 
@@ -241,7 +250,10 @@ mod tests {
         for n in 0..3u32 {
             let mut tx = engine.node(NodeId(n)).begin();
             for k in 0..30u64 {
-                assert_eq!(tree.get(&mut tx, k).unwrap(), Some(k.to_le_bytes().to_vec()));
+                assert_eq!(
+                    tree.get(&mut tx, k).unwrap(),
+                    Some(k.to_le_bytes().to_vec())
+                );
             }
             tx.commit().unwrap();
         }

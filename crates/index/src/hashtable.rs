@@ -28,7 +28,11 @@ impl HashTable {
     /// Creates a table with `bucket_count` buckets, allocating the bucket
     /// objects across the cluster in a single transaction coordinated by
     /// `creator`.
-    pub fn create(engine: &Arc<Engine>, creator: NodeId, bucket_count: usize) -> Result<HashTable, TxError> {
+    pub fn create(
+        engine: &Arc<Engine>,
+        creator: NodeId,
+        bucket_count: usize,
+    ) -> Result<HashTable, TxError> {
         assert!(bucket_count > 0);
         let node = engine.node(creator);
         let regions = engine.cluster().regions();
@@ -41,7 +45,9 @@ impl HashTable {
             buckets.push(addr);
         }
         tx.commit()?;
-        Ok(HashTable { buckets: Arc::new(buckets) })
+        Ok(HashTable {
+            buckets: Arc::new(buckets),
+        })
     }
 
     /// Number of buckets.
@@ -60,7 +66,10 @@ impl HashTable {
     pub fn get(&self, tx: &mut Transaction, key: &[u8]) -> Result<Option<Vec<u8>>, TxError> {
         let bucket = self.bucket_of(key);
         let data = tx.read(bucket)?;
-        Ok(decode_entries(&data).into_iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        Ok(decode_entries(&data)
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v))
     }
 
     /// Inserts or updates `key` within `tx`.
@@ -147,12 +156,17 @@ mod tests {
         let node = engine.node(NodeId(0));
         for i in 0..100u32 {
             let mut tx = node.begin();
-            table.put(&mut tx, &i.to_le_bytes(), &i.to_le_bytes()).unwrap();
+            table
+                .put(&mut tx, &i.to_le_bytes(), &i.to_le_bytes())
+                .unwrap();
             tx.commit().unwrap();
         }
         let mut tx = node.begin();
         for i in 0..100u32 {
-            assert_eq!(table.get(&mut tx, &i.to_le_bytes()).unwrap(), Some(i.to_le_bytes().to_vec()));
+            assert_eq!(
+                table.get(&mut tx, &i.to_le_bytes()).unwrap(),
+                Some(i.to_le_bytes().to_vec())
+            );
         }
         tx.commit().unwrap();
         engine.shutdown();

@@ -177,7 +177,10 @@ impl Cluster {
                 id,
                 clock,
                 Arc::new(RegionStore::new(cfg.region)),
-                Arc::new(OldVersionStore::new(cfg.old_version_block_bytes, cfg.old_version_max_bytes)),
+                Arc::new(OldVersionStore::new(
+                    cfg.old_version_block_bytes,
+                    cfg.old_version_max_bytes,
+                )),
                 Arc::new(NetStats::default()),
             );
             nodes.push(Arc::new(handle));
@@ -274,7 +277,11 @@ impl Cluster {
 
     /// The current replica set of a region.
     pub fn replicas_of(&self, region: RegionId) -> Vec<NodeId> {
-        self.placement.read().assignment(region).map(|a| a.replicas()).unwrap_or_default()
+        self.placement
+            .read()
+            .assignment(region)
+            .map(|a| a.replicas())
+            .unwrap_or_default()
     }
 
     /// Regions whose primary is currently `node`.
@@ -353,7 +360,9 @@ impl Cluster {
                     .iter()
                     .copied()
                     .filter(|m| *m != cm)
-                    .filter(|m| now.duration_since(lease.last_seen[m.index()]) > self.cfg.lease_expiry)
+                    .filter(|m| {
+                        now.duration_since(lease.last_seen[m.index()]) > self.cfg.lease_expiry
+                    })
                     .collect()
             };
             if !expired.is_empty() {
@@ -405,8 +414,12 @@ impl Cluster {
         self.nodes[cm.index()].note_gc(gc_cm);
         if let Ok(t_cm) = master_time {
             let count = self.sync_counter[member.index()].fetch_add(1, Ordering::Relaxed);
-            if count % self.cfg.sync_sampling_ratio as u64 == 0 {
-                member_node.clock().record_sync(SyncSample { t_send, t_cm, t_recv });
+            if count.is_multiple_of(self.cfg.sync_sampling_ratio as u64) {
+                member_node.clock().record_sync(SyncSample {
+                    t_send,
+                    t_cm,
+                    t_recv,
+                });
             }
         }
         let mut last = self.last_cm_response.lock();
@@ -444,18 +457,25 @@ impl Cluster {
             self.events.record(EventKind::Suspected(f));
             self.nodes[f.index()].mark_dead();
         }
-        let new_members: Vec<NodeId> =
-            config.members.iter().copied().filter(|m| !failed.contains(m)).collect();
+        let new_members: Vec<NodeId> = config
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !failed.contains(m))
+            .collect();
         if new_members.is_empty() {
             return;
         }
         let cm_failed = failed.contains(&config.cm);
         let new_cm = if cm_failed { initiator } else { config.cm };
-        let new_config = match self.config_store.compare_and_swap(config.epoch, new_members.clone(), new_cm)
-        {
-            Ok(c) => c,
-            Err(_) => return, // lost the race; the winner handles recovery
-        };
+        let new_config =
+            match self
+                .config_store
+                .compare_and_swap(config.epoch, new_members.clone(), new_cm)
+            {
+                Ok(c) => c,
+                Err(_) => return, // lost the race; the winner handles recovery
+            };
 
         if cm_failed {
             self.clock_failover(&new_config, &failed);
@@ -474,7 +494,10 @@ impl Cluster {
                 *t = now;
             }
         }
-        self.events.record(EventKind::ConfigCommitted { epoch: new_config.epoch, cm: new_config.cm });
+        self.events.record(EventKind::ConfigCommitted {
+            epoch: new_config.epoch,
+            cm: new_config.cm,
+        });
         self.hooks.read().on_config_committed(&new_config);
 
         // Placement updates: promote backups for regions that lost their
@@ -491,8 +514,10 @@ impl Cluster {
             if let Some(replica) = self.nodes[new_primary.index()].regions().get(*region) {
                 replica.rebuild_allocation_state();
             }
-            self.events
-                .record(EventKind::RegionPromoted { region: *region, new_primary: *new_primary });
+            self.events.record(EventKind::RegionPromoted {
+                region: *region,
+                new_primary: *new_primary,
+            });
             self.hooks.read().on_region_promoted(*region, *new_primary);
         }
         self.spawn_rereplication(new_config);
@@ -623,7 +648,9 @@ impl Cluster {
                             if let Some(slab) = src.slab(slab_idx) {
                                 let dst_slab = dst.ensure_slab(slab_idx, slab.object_size());
                                 for slot_idx in 0..slab.capacity() as u32 {
-                                    if let (Ok(s), Ok(d)) = (slab.slot(slot_idx), dst_slab.slot(slot_idx)) {
+                                    if let (Ok(s), Ok(d)) =
+                                        (slab.slot(slot_idx), dst_slab.slot(slot_idx))
+                                    {
                                         let h = s.header_snapshot();
                                         if h.allocated {
                                             d.initialize(h.ts, s.raw_data());
@@ -636,7 +663,10 @@ impl Cluster {
                         // with the copied headers.
                         dst.rebuild_allocation_state();
                     }
-                    events.record(EventKind::Rereplicated { region, new_backup: backup });
+                    events.record(EventKind::Rereplicated {
+                        region,
+                        new_backup: backup,
+                    });
                 }
                 events.record(EventKind::RereplicationComplete);
             })
@@ -666,7 +696,11 @@ mod tests {
     fn start_enables_all_clocks() {
         let cluster = Cluster::start(ClusterConfig::test(3));
         for node in cluster.nodes() {
-            assert!(node.clock().is_enabled(), "clock of {:?} not enabled", node.id());
+            assert!(
+                node.clock().is_enabled(),
+                "clock of {:?} not enabled",
+                node.id()
+            );
             let (ts, _) = node.clock().get_ts(TsMode::NonStrictRead);
             assert!(ts.as_nanos() > 0);
         }
@@ -692,8 +726,16 @@ mod tests {
             cluster.control_round();
         }
         for node in cluster.nodes() {
-            assert!(node.gc_local() > 0, "GC_local never propagated to {:?}", node.id());
-            assert!(node.gc_safe_point() > 0, "GC never propagated to {:?}", node.id());
+            assert!(
+                node.gc_local() > 0,
+                "GC_local never propagated to {:?}",
+                node.id()
+            );
+            assert!(
+                node.gc_safe_point() > 0,
+                "GC never propagated to {:?}",
+                node.id()
+            );
             // The GC safe point can never exceed OAT_local of any node.
             assert!(node.gc_safe_point() <= node.oat_local());
         }
@@ -703,12 +745,17 @@ mod tests {
     fn gc_safe_point_respects_active_transactions() {
         let cluster = Cluster::start(ClusterConfig::test(3));
         // Node 1 reports an old active transaction at ts=1.
-        cluster.node(NodeId(1)).set_oat_provider(Arc::new(|| Some(1)));
+        cluster
+            .node(NodeId(1))
+            .set_oat_provider(Arc::new(|| Some(1)));
         for _ in 0..4 {
             cluster.control_round();
         }
         for node in cluster.nodes() {
-            assert!(node.gc_safe_point() <= 1, "GC advanced past an active transaction");
+            assert!(
+                node.gc_safe_point() <= 1,
+                "GC advanced past an active transaction"
+            );
         }
     }
 
@@ -728,8 +775,12 @@ mod tests {
         assert_eq!(config.cm, NodeId(0));
         // No clock failover events.
         let events = cluster.events().snapshot();
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Suspected(n) if n == NodeId(2))));
-        assert!(!events.iter().any(|e| matches!(e.kind, EventKind::ClockDisabled)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Suspected(n) if n == NodeId(2))));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ClockDisabled)));
         // Clocks still enabled everywhere that survived.
         assert!(cluster.node(NodeId(0)).clock().is_enabled());
         assert!(cluster.node(NodeId(1)).clock().is_enabled());
@@ -753,8 +804,12 @@ mod tests {
         assert!(!config.contains(NodeId(0)));
         assert_ne!(config.cm, NodeId(0));
         let events = cluster.events().snapshot();
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::ClockDisabled)));
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::ClockEnabled { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ClockDisabled)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ClockEnabled { .. })));
         // The new CM serves master time and timestamps remain monotonic.
         let new_cm = config.cm;
         assert!(cluster.node(new_cm).clock().is_master());
@@ -778,7 +833,9 @@ mod tests {
         for &replica in &cluster.replicas_of(region) {
             let r = cluster.node(replica).regions().ensure(region);
             let addr = r.allocate(64).unwrap();
-            r.slot(addr).unwrap().initialize(7, bytes::Bytes::from_static(b"payload"));
+            r.slot(addr)
+                .unwrap()
+                .initialize(7, bytes::Bytes::from_static(b"payload"));
         }
         cluster.kill(NodeId(1));
         std::thread::sleep(Duration::from_millis(3));
@@ -805,7 +862,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         let replicas = cluster.replicas_of(region);
-        assert_eq!(replicas.len(), 3, "replication factor not restored: {replicas:?}");
+        assert_eq!(
+            replicas.len(),
+            3,
+            "replication factor not restored: {replicas:?}"
+        );
         assert!(!replicas.contains(&NodeId(1)));
         // The new backup received the data.
         let new_backup = *replicas.last().unwrap();

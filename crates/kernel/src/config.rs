@@ -49,7 +49,13 @@ impl ConfigStore {
         members.sort();
         members.dedup();
         assert!(members.contains(&cm), "CM must be a member");
-        ConfigStore { current: Mutex::new(ConfigRecord { epoch: 1, members, cm }) }
+        ConfigStore {
+            current: Mutex::new(ConfigRecord {
+                epoch: 1,
+                members,
+                cm,
+            }),
+        }
     }
 
     /// Reads the current configuration.
@@ -70,9 +76,15 @@ impl ConfigStore {
         assert!(new_members.contains(&new_cm), "new CM must be a member");
         let mut cur = self.current.lock();
         if cur.epoch != expected_epoch {
-            return Err(CasConflict { current: cur.clone() });
+            return Err(CasConflict {
+                current: cur.clone(),
+            });
         }
-        *cur = ConfigRecord { epoch: expected_epoch + 1, members: new_members, cm: new_cm };
+        *cur = ConfigRecord {
+            epoch: expected_epoch + 1,
+            members: new_members,
+            cm: new_cm,
+        };
         Ok(cur.clone())
     }
 }
@@ -99,11 +111,15 @@ mod tests {
     #[test]
     fn cas_succeeds_once_per_epoch() {
         let store = ConfigStore::new(nodes(&[0, 1, 2]), NodeId(0));
-        let next = store.compare_and_swap(1, nodes(&[1, 2]), NodeId(1)).unwrap();
+        let next = store
+            .compare_and_swap(1, nodes(&[1, 2]), NodeId(1))
+            .unwrap();
         assert_eq!(next.epoch, 2);
         assert_eq!(next.cm, NodeId(1));
         // A competing change based on the stale epoch fails.
-        let err = store.compare_and_swap(1, nodes(&[0, 2]), NodeId(2)).unwrap_err();
+        let err = store
+            .compare_and_swap(1, nodes(&[0, 2]), NodeId(2))
+            .unwrap_err();
         assert_eq!(err.current.epoch, 2);
     }
 

@@ -69,7 +69,10 @@ impl EventLog {
 
     /// Appends an event stamped "now".
     pub fn record(&self, kind: EventKind) {
-        self.inner.lock().push(ClusterEvent { at: Instant::now(), kind });
+        self.inner.lock().push(ClusterEvent {
+            at: Instant::now(),
+            kind,
+        });
     }
 
     /// Returns a copy of all events recorded so far.

@@ -155,11 +155,14 @@ mod tests {
     fn handle() -> (Arc<ManualClock>, NodeHandle) {
         let manual = Arc::new(ManualClock::new(1_000));
         let shared: SharedClock = manual.clone();
-        let clock = Arc::new(NodeClock::new_master(shared, ClockConfig {
-            drift_bound_ppm: 1_000,
-            thread_skew_ns: 0,
-            spin_threshold_ns: 1_000,
-        }));
+        let clock = Arc::new(NodeClock::new_master(
+            shared,
+            ClockConfig {
+                drift_bound_ppm: 1_000,
+                thread_skew_ns: 0,
+                spin_threshold_ns: 1_000,
+            },
+        ));
         let node = NodeHandle::new(
             NodeId(0),
             clock,

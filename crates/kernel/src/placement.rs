@@ -49,8 +49,7 @@ impl Placement {
         let total_regions = regions_per_node * n;
         for r in 0..total_regions {
             let primary = nodes[r % n];
-            let backups: Vec<NodeId> =
-                (1..replication).map(|k| nodes[(r + k) % n]).collect();
+            let backups: Vec<NodeId> = (1..replication).map(|k| nodes[(r + k) % n]).collect();
             assignments.insert(RegionId(r as u16), RegionAssignment { primary, backups });
         }
         Placement { assignments }
@@ -181,14 +180,21 @@ mod tests {
             let mut reps = a.replicas();
             reps.sort();
             reps.dedup();
-            assert_eq!(reps.len(), a.replicas().len(), "duplicate replica in {region:?}");
+            assert_eq!(
+                reps.len(),
+                a.replicas().len(),
+                "duplicate replica in {region:?}"
+            );
         }
         // The regions that could take node 3 as a new backup are full again;
         // those whose survivors already included node 3 stay under-replicated
         // until another node is available.
         for (region, count) in p.under_replicated(3) {
             let a = p.assignment(region).unwrap();
-            assert!(a.involves(NodeId(3)), "{region:?} with {count} replicas should contain n3");
+            assert!(
+                a.involves(NodeId(3)),
+                "{region:?} with {count} replicas should contain n3"
+            );
         }
     }
 

@@ -110,7 +110,9 @@ impl OldAddr {
     pub fn pack(self) -> u64 {
         debug_assert!(self.block.0 < (1 << 24));
         debug_assert!(self.index < (1 << 24));
-        ((self.block.0 as u64) << 40) | (((self.generation & 0xFFFF) as u64) << 24) | self.index as u64
+        ((self.block.0 as u64) << 40)
+            | (((self.generation & 0xFFFF) as u64) << 24)
+            | self.index as u64
     }
 
     /// Unpacks an [`OldAddr`] from its `u64` representation.
@@ -130,34 +132,66 @@ mod tests {
 
     #[test]
     fn addr_pack_roundtrip() {
-        let a = Addr { region: RegionId(513), slab: 7, slot: 123_456 };
+        let a = Addr {
+            region: RegionId(513),
+            slab: 7,
+            slot: 123_456,
+        };
         assert_eq!(Addr::unpack(a.pack()), a);
-        let b = Addr { region: RegionId(0), slab: 0, slot: 0 };
+        let b = Addr {
+            region: RegionId(0),
+            slab: 0,
+            slot: 0,
+        };
         assert_eq!(Addr::unpack(b.pack()), b);
-        let c = Addr { region: RegionId(u16::MAX), slab: u16::MAX, slot: u32::MAX };
+        let c = Addr {
+            region: RegionId(u16::MAX),
+            slab: u16::MAX,
+            slot: u32::MAX,
+        };
         assert_eq!(Addr::unpack(c.pack()), c);
     }
 
     #[test]
     fn old_addr_pack_roundtrip() {
-        let a = OldAddr { block: BlockId(12), index: 9_999, generation: 3 };
+        let a = OldAddr {
+            block: BlockId(12),
+            index: 9_999,
+            generation: 3,
+        };
         assert_eq!(OldAddr::unpack(a.pack()), a);
-        let b = OldAddr { block: BlockId(0), index: 0, generation: 0 };
+        let b = OldAddr {
+            block: BlockId(0),
+            index: 0,
+            generation: 0,
+        };
         assert_eq!(OldAddr::unpack(b.pack()), b);
     }
 
     #[test]
     fn generation_wraps_at_16_bits_in_packed_form() {
-        let a = OldAddr { block: BlockId(1), index: 2, generation: 0x1_0005 };
+        let a = OldAddr {
+            block: BlockId(1),
+            index: 2,
+            generation: 0x1_0005,
+        };
         let unpacked = OldAddr::unpack(a.pack());
         assert_eq!(unpacked.generation, 0x0005);
     }
 
     #[test]
     fn addresses_format_compactly() {
-        let a = Addr { region: RegionId(1), slab: 2, slot: 3 };
+        let a = Addr {
+            region: RegionId(1),
+            slab: 2,
+            slot: 3,
+        };
         assert_eq!(format!("{a}"), "r1:2:3");
-        let o = OldAddr { block: BlockId(4), index: 5, generation: 6 };
+        let o = OldAddr {
+            block: BlockId(4),
+            index: 5,
+            generation: 6,
+        };
         assert_eq!(format!("{o:?}"), "b4[5]@g6");
     }
 }

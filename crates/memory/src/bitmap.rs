@@ -29,7 +29,7 @@ impl FreeBitmap {
         let leaf_words = capacity.div_ceil(64);
         let mut leaves = vec![u64::MAX; leaf_words];
         // Clear the bits beyond capacity in the last word.
-        if capacity % 64 != 0 {
+        if !capacity.is_multiple_of(64) {
             let valid = capacity % 64;
             leaves[leaf_words - 1] = (1u64 << valid) - 1;
         }
@@ -40,7 +40,12 @@ impl FreeBitmap {
                 summary[w / 64] |= 1 << (w % 64);
             }
         }
-        FreeBitmap { capacity, leaves, summary, free_count: capacity }
+        FreeBitmap {
+            capacity,
+            leaves,
+            summary,
+            free_count: capacity,
+        }
     }
 
     /// Creates a bitmap with all slots allocated (used when rebuilding state
@@ -78,7 +83,11 @@ impl FreeBitmap {
 
     /// Whether the given slot is free.
     pub fn is_free(&self, slot: usize) -> bool {
-        assert!(slot < self.capacity, "slot {slot} out of range {}", self.capacity);
+        assert!(
+            slot < self.capacity,
+            "slot {slot} out of range {}",
+            self.capacity
+        );
         self.leaves[slot / 64] & (1 << (slot % 64)) != 0
     }
 
@@ -101,10 +110,17 @@ impl FreeBitmap {
 
     /// Marks `slot` free again. Panics if it was already free (double free).
     pub fn free(&mut self, slot: usize) {
-        assert!(slot < self.capacity, "slot {slot} out of range {}", self.capacity);
+        assert!(
+            slot < self.capacity,
+            "slot {slot} out of range {}",
+            self.capacity
+        );
         let leaf_idx = slot / 64;
         let bit = 1u64 << (slot % 64);
-        assert!(self.leaves[leaf_idx] & bit == 0, "double free of slot {slot}");
+        assert!(
+            self.leaves[leaf_idx] & bit == 0,
+            "double free of slot {slot}"
+        );
         self.leaves[leaf_idx] |= bit;
         self.summary[leaf_idx / 64] |= 1 << (leaf_idx % 64);
         self.free_count += 1;

@@ -17,6 +17,11 @@ use crate::addr::OldAddr;
 
 const LOCK_BIT: u64 = 1 << 63;
 const ALLOC_BIT: u64 = 1 << 62;
+/// Tombstone bit: the object was freed at timestamp `TS`, but the slot still
+/// anchors the old-version chain so snapshot readers below `TS` can keep
+/// reading history. Tombstoned slots are reclaimed by the GC sweep once the
+/// cluster-wide safe point passes `TS` (multi-version mode only).
+const TOMB_BIT: u64 = 1 << 61;
 const CL_SHIFT: u32 = 53;
 const CL_MASK: u64 = 0xFF << CL_SHIFT;
 const TS_MASK: u64 = (1 << 53) - 1;
@@ -30,6 +35,9 @@ pub struct HeaderSnapshot {
     pub locked: bool,
     /// Allocated bit: clear for free slots.
     pub allocated: bool,
+    /// Tombstone bit: the object was freed at `ts` but still anchors its
+    /// old-version chain for snapshot readers (multi-version mode).
+    pub tombstone: bool,
     /// Install counter (wraps at 256); incremented on every install.
     pub cl: u8,
     /// Write timestamp of the last transaction that installed this version.
@@ -64,7 +72,10 @@ pub struct ObjectHeader {
 impl ObjectHeader {
     /// Creates a header for a free (unallocated) slot.
     pub fn new_free() -> Self {
-        ObjectHeader { word0: AtomicU64::new(0), ovp: AtomicU64::new(NO_OVP) }
+        ObjectHeader {
+            word0: AtomicU64::new(0),
+            ovp: AtomicU64::new(NO_OVP),
+        }
     }
 
     /// Decodes the current header.
@@ -75,9 +86,14 @@ impl ObjectHeader {
         HeaderSnapshot {
             locked: w0 & LOCK_BIT != 0,
             allocated: w0 & ALLOC_BIT != 0,
+            tombstone: w0 & TOMB_BIT != 0,
             cl: ((w0 & CL_MASK) >> CL_SHIFT) as u8,
             ts: w0 & TS_MASK,
-            ovp: if ovp_raw == NO_OVP { None } else { Some(OldAddr::unpack(ovp_raw)) },
+            ovp: if ovp_raw == NO_OVP {
+                None
+            } else {
+                Some(OldAddr::unpack(ovp_raw))
+            },
         }
     }
 
@@ -86,7 +102,8 @@ impl ObjectHeader {
     pub fn initialize_allocated(&self, ts: u64) {
         debug_assert!(ts <= TS_MASK);
         self.ovp.store(NO_OVP, Ordering::Release);
-        self.word0.store(ALLOC_BIT | (ts & TS_MASK), Ordering::Release);
+        self.word0
+            .store(ALLOC_BIT | (ts & TS_MASK), Ordering::Release);
     }
 
     /// Clears the allocated bit (object freed) and drops the old-version
@@ -113,7 +130,10 @@ impl ObjectHeader {
             return HeaderLock::VersionMismatch { current: cur_ts };
         }
         let target = cur | LOCK_BIT;
-        match self.word0.compare_exchange(cur, target, Ordering::AcqRel, Ordering::Acquire) {
+        match self
+            .word0
+            .compare_exchange(cur, target, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => HeaderLock::Acquired,
             Err(now) => {
                 if now & LOCK_BIT != 0 {
@@ -121,7 +141,9 @@ impl ObjectHeader {
                 } else if now & ALLOC_BIT == 0 {
                     HeaderLock::NotAllocated
                 } else {
-                    HeaderLock::VersionMismatch { current: now & TS_MASK }
+                    HeaderLock::VersionMismatch {
+                        current: now & TS_MASK,
+                    }
                 }
             }
         }
@@ -154,15 +176,35 @@ impl ObjectHeader {
         debug_assert!(cur & LOCK_BIT != 0, "install without holding the lock");
         let cl = ((cur & CL_MASK) >> CL_SHIFT) as u8;
         let new_cl = cl.wrapping_add(1);
-        self.ovp.store(ovp.map(OldAddr::pack).unwrap_or(NO_OVP), Ordering::Release);
-        let new_word =
-            ALLOC_BIT | ((new_cl as u64) << CL_SHIFT) | (new_ts & TS_MASK);
+        self.ovp
+            .store(ovp.map(OldAddr::pack).unwrap_or(NO_OVP), Ordering::Release);
+        let new_word = ALLOC_BIT | ((new_cl as u64) << CL_SHIFT) | (new_ts & TS_MASK);
+        self.word0.store(new_word, Ordering::Release);
+    }
+
+    /// Installs a **tombstone**: the object is freed at `new_ts`, but the
+    /// slot stays allocated (with the tombstone bit set) so the old-version
+    /// pointer keeps anchoring history for snapshot readers below `new_ts`.
+    /// Must only be called while holding the lock.
+    pub fn install_tombstone_and_unlock(&self, new_ts: u64, ovp: Option<OldAddr>) {
+        debug_assert!(new_ts <= TS_MASK);
+        let cur = self.word0.load(Ordering::Acquire);
+        debug_assert!(
+            cur & LOCK_BIT != 0,
+            "tombstone install without holding the lock"
+        );
+        let cl = ((cur & CL_MASK) >> CL_SHIFT) as u8;
+        let new_cl = cl.wrapping_add(1);
+        self.ovp
+            .store(ovp.map(OldAddr::pack).unwrap_or(NO_OVP), Ordering::Release);
+        let new_word = ALLOC_BIT | TOMB_BIT | ((new_cl as u64) << CL_SHIFT) | (new_ts & TS_MASK);
         self.word0.store(new_word, Ordering::Release);
     }
 
     /// Updates only the old-version pointer (used when truncating history).
     pub fn set_ovp(&self, ovp: Option<OldAddr>) {
-        self.ovp.store(ovp.map(OldAddr::pack).unwrap_or(NO_OVP), Ordering::Release);
+        self.ovp
+            .store(ovp.map(OldAddr::pack).unwrap_or(NO_OVP), Ordering::Release);
     }
 
     /// Whether the header is currently locked.
@@ -207,7 +249,10 @@ mod tests {
     fn lock_requires_matching_version() {
         let h = ObjectHeader::new_free();
         h.initialize_allocated(10);
-        assert_eq!(h.try_lock_at(11), HeaderLock::VersionMismatch { current: 10 });
+        assert_eq!(
+            h.try_lock_at(11),
+            HeaderLock::VersionMismatch { current: 10 }
+        );
         assert_eq!(h.try_lock_at(10), HeaderLock::Acquired);
         assert_eq!(h.try_lock_at(10), HeaderLock::AlreadyLocked);
         h.unlock();
@@ -225,7 +270,11 @@ mod tests {
         let h = ObjectHeader::new_free();
         h.initialize_allocated(5);
         assert_eq!(h.try_lock_at(5), HeaderLock::Acquired);
-        let ovp = OldAddr { block: BlockId(3), index: 7, generation: 1 };
+        let ovp = OldAddr {
+            block: BlockId(3),
+            index: 7,
+            generation: 1,
+        };
         h.install_and_unlock(9, Some(ovp));
         let s = h.snapshot();
         assert!(!s.locked);
@@ -264,7 +313,9 @@ mod tests {
         let winners: usize = (0..8)
             .map(|_| {
                 let h = Arc::clone(&h);
-                std::thread::spawn(move || matches!(h.try_lock_at(1), HeaderLock::Acquired) as usize)
+                std::thread::spawn(move || {
+                    matches!(h.try_lock_at(1), HeaderLock::Acquired) as usize
+                })
             })
             .collect::<Vec<_>>()
             .into_iter()
@@ -274,10 +325,40 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_install_keeps_slot_allocated_and_chain_anchored() {
+        let h = ObjectHeader::new_free();
+        h.initialize_allocated(5);
+        assert!(!h.snapshot().tombstone);
+        assert_eq!(h.try_lock_at(5), HeaderLock::Acquired);
+        let ovp = OldAddr {
+            block: BlockId(1),
+            index: 4,
+            generation: 0,
+        };
+        h.install_tombstone_and_unlock(9, Some(ovp));
+        let s = h.snapshot();
+        assert!(s.allocated, "tombstone keeps the slot allocated");
+        assert!(s.tombstone);
+        assert!(!s.locked);
+        assert_eq!(s.ts, 9);
+        assert_eq!(s.ovp, Some(ovp));
+        // A writer that read the pre-free version cannot lock the tombstone.
+        assert_eq!(h.try_lock_at(5), HeaderLock::VersionMismatch { current: 9 });
+        // mark_free (the GC sweep) clears the tombstone.
+        h.mark_free();
+        assert!(!h.snapshot().tombstone);
+        assert!(!h.snapshot().allocated);
+    }
+
+    #[test]
     fn set_ovp_only_changes_pointer() {
         let h = ObjectHeader::new_free();
         h.initialize_allocated(5);
-        h.set_ovp(Some(OldAddr { block: BlockId(1), index: 2, generation: 0 }));
+        h.set_ovp(Some(OldAddr {
+            block: BlockId(1),
+            index: 2,
+            generation: 0,
+        }));
         let s = h.snapshot();
         assert_eq!(s.ts, 5);
         assert!(s.ovp.is_some());

@@ -22,6 +22,16 @@ pub enum ConsistentRead {
     /// retry or treat the read as conflicting (the paper's readers observe
     /// the lock bit in the RDMA-read header).
     Locked,
+    /// The object was freed at timestamp `ts`, but the slot still anchors its
+    /// old-version chain (multi-version mode): readers with a snapshot below
+    /// `ts` follow `ovp`; readers at or above `ts` observe the object as
+    /// freed.
+    Tombstone {
+        /// Timestamp of the freeing transaction.
+        ts: u64,
+        /// Old-version chain carrying the pre-free history.
+        ovp: Option<OldAddr>,
+    },
     /// The slot is not allocated.
     NotAllocated,
 }
@@ -63,7 +73,10 @@ pub struct ObjectSlot {
 impl ObjectSlot {
     /// Creates a free slot.
     pub fn new_free() -> Self {
-        ObjectSlot { header: ObjectHeader::new_free(), data: RwLock::new(Bytes::new()) }
+        ObjectSlot {
+            header: ObjectHeader::new_free(),
+            data: RwLock::new(Bytes::new()),
+        }
     }
 
     /// Direct access to the header (validation re-reads, recovery scans).
@@ -87,10 +100,20 @@ impl ObjectSlot {
             if before.locked {
                 return ConsistentRead::Locked;
             }
+            if before.tombstone {
+                return ConsistentRead::Tombstone {
+                    ts: before.ts,
+                    ovp: before.ovp,
+                };
+            }
             let data = self.data.read().clone();
             let after = self.header.snapshot();
             if !after.locked && after.ts == before.ts && after.cl == before.cl {
-                return ConsistentRead::Value { ts: before.ts, ovp: before.ovp, data };
+                return ConsistentRead::Value {
+                    ts: before.ts,
+                    ovp: before.ovp,
+                    data,
+                };
             }
             // An install raced with our read; retry (the NIC-level read would
             // observe a cache-line version mismatch and be retried the same
@@ -123,13 +146,29 @@ impl ObjectSlot {
 
     /// Installs a new version while holding the lock: replaces the payload,
     /// sets the timestamp and old-version pointer, and unlocks.
-    pub fn install_and_unlock(&self, new_ts: u64, data: Bytes, ovp: Option<OldAddr>) -> InstallOutcome {
+    pub fn install_and_unlock(
+        &self,
+        new_ts: u64,
+        data: Bytes,
+        ovp: Option<OldAddr>,
+    ) -> InstallOutcome {
         {
             let mut guard = self.data.write();
             *guard = data;
         }
         self.header.install_and_unlock(new_ts, ovp);
         InstallOutcome::Installed
+    }
+
+    /// Installs a tombstone while holding the lock: the payload is dropped,
+    /// the slot stays allocated with the tombstone bit set and `ovp` keeps
+    /// anchoring the pre-free history (multi-version frees).
+    pub fn install_tombstone_and_unlock(&self, new_ts: u64, ovp: Option<OldAddr>) {
+        {
+            let mut guard = self.data.write();
+            *guard = Bytes::new();
+        }
+        self.header.install_tombstone_and_unlock(new_ts, ovp);
     }
 
     /// Initializes the slot as a newly-allocated object with payload `data`
@@ -215,6 +254,30 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_reports_free_time_and_chain() {
+        use crate::addr::BlockId;
+        let s = ObjectSlot::new_free();
+        s.initialize(3, Bytes::from_static(b"live"));
+        assert_eq!(s.try_lock_at(3), LockOutcome::Acquired);
+        let ovp = OldAddr {
+            block: BlockId(0),
+            index: 1,
+            generation: 0,
+        };
+        s.install_tombstone_and_unlock(8, Some(ovp));
+        match s.read_consistent() {
+            ConsistentRead::Tombstone { ts, ovp: chain } => {
+                assert_eq!(ts, 8);
+                assert_eq!(chain, Some(ovp));
+            }
+            other => panic!("expected tombstone, got {other:?}"),
+        }
+        assert!(s.raw_data().is_empty());
+        s.clear();
+        assert_eq!(s.read_consistent(), ConsistentRead::NotAllocated);
+    }
+
+    #[test]
     fn clear_frees_slot() {
         let s = ObjectSlot::new_free();
         s.initialize(1, Bytes::from_static(b"data"));
@@ -250,6 +313,7 @@ mod tests {
                                 assert!(data.iter().all(|&b| b == expect), "torn read at ts {ts}");
                             }
                             ConsistentRead::Locked => {}
+                            ConsistentRead::Tombstone { .. } => panic!("object tombstoned"),
                             ConsistentRead::NotAllocated => panic!("object vanished"),
                         }
                     }

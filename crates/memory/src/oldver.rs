@@ -122,7 +122,10 @@ impl OldVersionStore {
 
     /// (blocks created, blocks recycled) counters.
     pub fn block_counters(&self) -> (u64, u64) {
-        (self.blocks_created.load(Ordering::Relaxed), self.blocks_recycled.load(Ordering::Relaxed))
+        (
+            self.blocks_created.load(Ordering::Relaxed),
+            self.blocks_recycled.load(Ordering::Relaxed),
+        )
     }
 
     /// Resolves an old-version address, returning `None` if the block was
@@ -199,7 +202,8 @@ impl OldVersionStore {
         if current + self.block_bytes > self.max_bytes {
             return Err(OldVersionError::OutOfMemory);
         }
-        self.allocated_bytes.fetch_add(self.block_bytes, Ordering::Relaxed);
+        self.allocated_bytes
+            .fetch_add(self.block_bytes, Ordering::Relaxed);
         self.blocks_created.fetch_add(1, Ordering::Relaxed);
         let mut blocks = self.blocks.write();
         let id = BlockId(blocks.len() as u32);
@@ -238,7 +242,10 @@ pub struct ThreadOldAllocator {
 impl ThreadOldAllocator {
     /// Creates an allocator drawing blocks from `store`.
     pub fn new(store: Arc<OldVersionStore>) -> Self {
-        ThreadOldAllocator { store, current: None }
+        ThreadOldAllocator {
+            store,
+            current: None,
+        }
     }
 
     /// The shared store this allocator draws from.
@@ -275,7 +282,11 @@ impl ThreadOldAllocator {
             let index = entries.len() as u32;
             entries.push(Some(version));
             let generation = block.generation.load(Ordering::Acquire);
-            return Ok(OldAddr { block: block_id, index, generation });
+            return Ok(OldAddr {
+                block: block_id,
+                index,
+                generation,
+            });
         }
     }
 
@@ -299,7 +310,11 @@ mod tests {
     use super::*;
 
     fn ver(ts: u64, len: usize) -> OldVersion {
-        OldVersion { ts, ovp: None, data: Bytes::from(vec![ts as u8; len]) }
+        OldVersion {
+            ts,
+            ovp: None,
+            data: Bytes::from(vec![ts as u8; len]),
+        }
     }
 
     #[test]
@@ -319,7 +334,11 @@ mod tests {
         let mut prev: Option<OldAddr> = None;
         let mut addrs = Vec::new();
         for ts in 1..=20u64 {
-            let v = OldVersion { ts, ovp: prev, data: Bytes::from(vec![0u8; 100]) };
+            let v = OldVersion {
+                ts,
+                ovp: prev,
+                data: Bytes::from(vec![0u8; 100]),
+            };
             let a = alloc.allocate(v).unwrap();
             prev = Some(a);
             addrs.push(a);

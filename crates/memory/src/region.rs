@@ -9,12 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::addr::{Addr, RegionId};
-use crate::object::ObjectSlot;
-use crate::slab::Slab;
+use crate::object::{LockOutcome, ObjectSlot};
 use crate::size_class_for;
+use crate::slab::Slab;
 
 /// Sizing parameters for regions and slabs. The paper uses 2 GB regions and
 /// 1 MB slabs; the defaults here are scaled down so tests and laptop-scale
@@ -31,14 +31,20 @@ pub struct RegionConfig {
 
 impl Default for RegionConfig {
     fn default() -> Self {
-        RegionConfig { slab_bytes: 64 * 1024, max_slabs: 1024 }
+        RegionConfig {
+            slab_bytes: 64 * 1024,
+            max_slabs: 1024,
+        }
     }
 }
 
 impl RegionConfig {
     /// A tiny configuration for unit tests.
     pub fn small() -> Self {
-        RegionConfig { slab_bytes: 4 * 1024, max_slabs: 64 }
+        RegionConfig {
+            slab_bytes: 4 * 1024,
+            max_slabs: 64,
+        }
     }
 }
 
@@ -56,7 +62,9 @@ pub enum RegionError {
 impl std::fmt::Display for RegionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RegionError::ObjectTooLarge(s) => write!(f, "object of {s} bytes exceeds max size class"),
+            RegionError::ObjectTooLarge(s) => {
+                write!(f, "object of {s} bytes exceeds max size class")
+            }
             RegionError::OutOfMemory => write!(f, "region out of memory"),
             RegionError::BadAddress(a) => write!(f, "bad address {a}"),
         }
@@ -65,17 +73,37 @@ impl std::fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
+/// Failure of a batched lock acquisition: the address that failed and why.
+/// Every lock already acquired by the failing batch has been released when
+/// this is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLockFailure {
+    /// The first address whose lock could not be taken.
+    pub addr: Addr,
+    /// Why the lock attempt failed.
+    pub outcome: LockOutcome,
+}
+
 /// One replica of a region: a set of slabs.
 pub struct Region {
     id: RegionId,
     config: RegionConfig,
     slabs: RwLock<Vec<Arc<Slab>>>,
+    /// Tombstoned slots awaiting reclamation: `(addr, free timestamp)`.
+    /// Populated by multi-version frees, drained by the GC sweep once the
+    /// safe point passes the free timestamp.
+    tombstones: Mutex<Vec<(Addr, u64)>>,
 }
 
 impl Region {
     /// Creates an empty region.
     pub fn new(id: RegionId, config: RegionConfig) -> Self {
-        Region { id, config, slabs: RwLock::new(Vec::new()) }
+        Region {
+            id,
+            config,
+            slabs: RwLock::new(Vec::new()),
+            tombstones: Mutex::new(Vec::new()),
+        }
     }
 
     /// The region's identifier.
@@ -107,7 +135,11 @@ impl Region {
             for (i, slab) in slabs.iter().enumerate() {
                 if slab.object_size() == class {
                     if let Ok(slot) = slab.allocate() {
-                        return Ok(Addr { region: self.id, slab: i as u16, slot });
+                        return Ok(Addr {
+                            region: self.id,
+                            slab: i as u16,
+                            slot,
+                        });
                     }
                 }
             }
@@ -120,7 +152,11 @@ impl Region {
             for (i, slab) in slabs.iter().enumerate() {
                 if slab.object_size() == class {
                     if let Ok(slot) = slab.allocate() {
-                        return Ok(Addr { region: self.id, slab: i as u16, slot });
+                        return Ok(Addr {
+                            region: self.id,
+                            slab: i as u16,
+                            slot,
+                        });
                     }
                 }
             }
@@ -131,7 +167,11 @@ impl Region {
         let slot = slab.allocate().expect("fresh slab has space");
         let index = slabs.len() as u16;
         slabs.push(slab);
-        Ok(Addr { region: self.id, slab: index, slot })
+        Ok(Addr {
+            region: self.id,
+            slab: index,
+            slot,
+        })
     }
 
     /// Ensures that slab `index` exists with the given size class, creating
@@ -156,13 +196,89 @@ impl Region {
     /// must already have been cleared by the committing transaction.
     pub fn free(&self, addr: Addr) -> Result<(), RegionError> {
         let slab = self.slab(addr.slab).ok_or(RegionError::BadAddress(addr))?;
-        slab.free(addr.slot).map_err(|_| RegionError::BadAddress(addr))
+        slab.free(addr.slot)
+            .map_err(|_| RegionError::BadAddress(addr))
     }
 
     /// Resolves an address to its object slot.
     pub fn slot(&self, addr: Addr) -> Result<Arc<ObjectSlot>, RegionError> {
         let slab = self.slab(addr.slab).ok_or(RegionError::BadAddress(addr))?;
-        slab.slot(addr.slot).map_err(|_| RegionError::BadAddress(addr))
+        slab.slot(addr.slot)
+            .map_err(|_| RegionError::BadAddress(addr))
+    }
+
+    /// Acquires the per-object commit locks for one LOCK batch, the
+    /// primary-side half of the batched LOCK phase: the coordinator sends a
+    /// single message per destination machine and the primary locks the
+    /// batch's objects **atomically in order** — either every lock in the
+    /// batch is acquired, or none is.
+    ///
+    /// `entries` are `(address, expected timestamp)` pairs and must be sorted
+    /// in ascending address order — the deterministic global acquisition
+    /// order every coordinator uses (it prevents two committers from
+    /// acquiring overlapping sets in opposite orders). On the first conflict
+    /// all locks acquired by this batch are released and the failing address
+    /// is reported, so the caller can unwind batches already sent to other
+    /// primaries.
+    pub fn try_lock_batch(
+        &self,
+        entries: &[(Addr, u64)],
+    ) -> Result<Vec<Arc<ObjectSlot>>, BatchLockFailure> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "lock batch must be sorted by ascending address"
+        );
+        let mut acquired: Vec<Arc<ObjectSlot>> = Vec::with_capacity(entries.len());
+        for &(addr, expected_ts) in entries {
+            let outcome = match self.slot(addr) {
+                Ok(slot) => match slot.try_lock_at(expected_ts) {
+                    LockOutcome::Acquired => {
+                        acquired.push(slot);
+                        continue;
+                    }
+                    other => other,
+                },
+                Err(_) => LockOutcome::NotAllocated,
+            };
+            // Roll back: release in reverse acquisition order.
+            for slot in acquired.iter().rev() {
+                slot.unlock();
+            }
+            return Err(BatchLockFailure { addr, outcome });
+        }
+        Ok(acquired)
+    }
+
+    /// Records that the slot at `addr` was tombstoned by a free committing at
+    /// `write_ts`; the slot will be reclaimed by [`Region::sweep_tombstones`]
+    /// once the GC safe point passes `write_ts`.
+    pub fn note_tombstone(&self, addr: Addr, write_ts: u64) {
+        self.tombstones.lock().push((addr, write_ts));
+    }
+
+    /// Reclaims tombstoned slots whose free timestamp is below `safe_point`
+    /// (no snapshot can need their history anymore): clears the header and
+    /// returns the slot to the allocator. Returns how many were reclaimed.
+    pub fn sweep_tombstones(&self, safe_point: u64) -> usize {
+        let mut pending = self.tombstones.lock();
+        let mut swept = 0;
+        pending.retain(|&(addr, ts)| {
+            if ts >= safe_point {
+                return true;
+            }
+            if let Ok(slot) = self.slot(addr) {
+                slot.clear();
+            }
+            let _ = self.free(addr);
+            swept += 1;
+            false
+        });
+        swept
+    }
+
+    /// Number of tombstoned slots not yet reclaimed.
+    pub fn pending_tombstones(&self) -> usize {
+        self.tombstones.lock().len()
     }
 
     /// Scans all slabs and rebuilds their free bitmaps from object headers
@@ -204,7 +320,10 @@ pub struct RegionStore {
 impl RegionStore {
     /// Creates an empty store with the given sizing configuration.
     pub fn new(config: RegionConfig) -> Self {
-        RegionStore { config, regions: RwLock::new(HashMap::new()) }
+        RegionStore {
+            config,
+            regions: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Returns the replica of `id`, creating it if this machine does not host
@@ -217,7 +336,10 @@ impl RegionStore {
             }
         }
         let mut map = self.regions.write();
-        Arc::clone(map.entry(id).or_insert_with(|| Arc::new(Region::new(id, self.config))))
+        Arc::clone(
+            map.entry(id)
+                .or_insert_with(|| Arc::new(Region::new(id, self.config))),
+        )
     }
 
     /// Returns the replica of `id`, if hosted here.
@@ -240,7 +362,9 @@ impl RegionStore {
 
 impl std::fmt::Debug for RegionStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RegionStore").field("hosted", &self.hosted()).finish()
+        f.debug_struct("RegionStore")
+            .field("hosted", &self.hosted())
+            .finish()
     }
 }
 
@@ -265,7 +389,10 @@ mod tests {
     #[test]
     fn allocate_rejects_oversized_objects() {
         let r = Region::new(RegionId(1), RegionConfig::small());
-        assert_eq!(r.allocate(1 << 20), Err(RegionError::ObjectTooLarge(1 << 20)));
+        assert_eq!(
+            r.allocate(1 << 20),
+            Err(RegionError::ObjectTooLarge(1 << 20))
+        );
     }
 
     #[test]
@@ -284,14 +411,21 @@ mod tests {
         let a = r.allocate(64).unwrap();
         let slot = r.slot(a).unwrap();
         slot.initialize(3, Bytes::from_static(b"x"));
-        let bad = Addr { region: RegionId(1), slab: 99, slot: 0 };
+        let bad = Addr {
+            region: RegionId(1),
+            slab: 99,
+            slot: 0,
+        };
         assert!(r.slot(bad).is_err());
         assert!(r.free(bad).is_err());
     }
 
     #[test]
     fn out_of_memory_when_slabs_exhausted() {
-        let cfg = RegionConfig { slab_bytes: 64, max_slabs: 1 };
+        let cfg = RegionConfig {
+            slab_bytes: 64,
+            max_slabs: 1,
+        };
         let r = Region::new(RegionId(1), cfg);
         let _a = r.allocate(64).unwrap(); // only slot of only slab
         assert_eq!(r.allocate(64), Err(RegionError::OutOfMemory));
@@ -321,6 +455,82 @@ mod tests {
     }
 
     #[test]
+    fn lock_batch_all_or_nothing() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let addrs: Vec<Addr> = (0..4).map(|_| r.allocate(64).unwrap()).collect();
+        for a in &addrs {
+            r.slot(*a).unwrap().initialize(5, Bytes::from_static(b"v"));
+        }
+        let mut entries: Vec<(Addr, u64)> = addrs.iter().map(|&a| (a, 5)).collect();
+        entries.sort();
+        // Whole batch succeeds.
+        let locked = r.try_lock_batch(&entries).unwrap();
+        assert_eq!(locked.len(), 4);
+        for a in &addrs {
+            assert!(r.slot(*a).unwrap().header_snapshot().locked);
+        }
+        for s in &locked {
+            s.unlock();
+        }
+        // Poison the third entry: its version changed.
+        r.slot(entries[2].0).unwrap().try_lock_at(5);
+        r.slot(entries[2].0)
+            .unwrap()
+            .install_and_unlock(9, Bytes::from_static(b"w"), None);
+        let err = r.try_lock_batch(&entries).unwrap_err();
+        assert_eq!(err.addr, entries[2].0);
+        assert_eq!(err.outcome, LockOutcome::VersionChanged { current: 9 });
+        // The partial acquisitions (entries 0 and 1) were rolled back.
+        for (a, _) in &entries {
+            assert!(
+                !r.slot(*a).unwrap().header_snapshot().locked,
+                "leaked lock on {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_batch_conflict_on_locked_object() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let a = r.allocate(64).unwrap();
+        let b = r.allocate(64).unwrap();
+        r.slot(a).unwrap().initialize(1, Bytes::from_static(b"a"));
+        r.slot(b).unwrap().initialize(1, Bytes::from_static(b"b"));
+        // Another committer holds b.
+        assert_eq!(r.slot(b).unwrap().try_lock_at(1), LockOutcome::Acquired);
+        let mut entries = vec![(a, 1), (b, 1)];
+        entries.sort();
+        let err = r.try_lock_batch(&entries).unwrap_err();
+        assert_eq!(err.outcome, LockOutcome::Conflict);
+        // Whichever of the two was first must have been released again.
+        let other = if err.addr == a { b } else { a };
+        let still_locked = r.slot(other).unwrap().header_snapshot().locked;
+        assert_eq!(still_locked, other == b, "only the foreign lock survives");
+    }
+
+    #[test]
+    fn tombstone_sweep_reclaims_past_safe_point() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let a = r.allocate(64).unwrap();
+        let slot = r.slot(a).unwrap();
+        slot.initialize(5, Bytes::from_static(b"x"));
+        assert_eq!(slot.try_lock_at(5), LockOutcome::Acquired);
+        slot.install_tombstone_and_unlock(10, None);
+        r.note_tombstone(a, 10);
+        assert_eq!(r.pending_tombstones(), 1);
+        let (_, free_before) = r.occupancy();
+        // Safe point has not passed the free yet.
+        assert_eq!(r.sweep_tombstones(10), 0);
+        assert_eq!(r.pending_tombstones(), 1);
+        // Once it passes, the slot is cleared and returned to the allocator.
+        assert_eq!(r.sweep_tombstones(11), 1);
+        assert_eq!(r.pending_tombstones(), 0);
+        let (_, free_after) = r.occupancy();
+        assert_eq!(free_after, free_before + 1);
+        assert!(!r.slot(a).unwrap().header_snapshot().allocated);
+    }
+
+    #[test]
     fn concurrent_allocations_get_distinct_addresses() {
         use std::collections::HashSet;
         use std::sync::Arc;
@@ -328,7 +538,11 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let r = Arc::clone(&r);
-                std::thread::spawn(move || (0..200).map(|_| r.allocate(64).unwrap()).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|_| r.allocate(64).unwrap())
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let mut all = HashSet::new();

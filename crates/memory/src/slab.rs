@@ -47,7 +47,9 @@ impl Slab {
     /// Creates a slab of `capacity` slots of `object_size` bytes each.
     pub fn new(object_size: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "slab capacity must be positive");
-        let slots = (0..capacity).map(|_| Arc::new(ObjectSlot::new_free())).collect();
+        let slots = (0..capacity)
+            .map(|_| Arc::new(ObjectSlot::new_free()))
+            .collect();
         Slab {
             inner: RwLock::new(SlabInner { object_size, slots }),
             bitmap: Mutex::new(FreeBitmap::new_all_free(capacity)),
@@ -76,7 +78,11 @@ impl Slab {
 
     /// Allocates a slot, returning its index.
     pub fn allocate(&self) -> Result<u32, SlabError> {
-        self.bitmap.lock().allocate().map(|s| s as u32).ok_or(SlabError::Full)
+        self.bitmap
+            .lock()
+            .allocate()
+            .map(|s| s as u32)
+            .ok_or(SlabError::Full)
     }
 
     /// Frees a slot index. The caller is responsible for having cleared the
@@ -93,7 +99,11 @@ impl Slab {
     /// Returns the slot at `index`.
     pub fn slot(&self, index: u32) -> Result<Arc<ObjectSlot>, SlabError> {
         let inner = self.inner.read();
-        inner.slots.get(index as usize).cloned().ok_or(SlabError::BadSlot)
+        inner
+            .slots
+            .get(index as usize)
+            .cloned()
+            .ok_or(SlabError::BadSlot)
     }
 
     /// Rebuilds the free bitmap by scanning object headers. This is what a
@@ -122,7 +132,9 @@ impl Slab {
         }
         let mut inner = self.inner.write();
         inner.object_size = new_object_size;
-        inner.slots = (0..new_capacity).map(|_| Arc::new(ObjectSlot::new_free())).collect();
+        inner.slots = (0..new_capacity)
+            .map(|_| Arc::new(ObjectSlot::new_free()))
+            .collect();
         *bm = FreeBitmap::new_all_free(new_capacity);
         Ok(())
     }
@@ -188,8 +200,12 @@ mod tests {
         let slab = Slab::new(64, 4);
         // Simulate a backup's state: slots 1 and 3 hold allocated objects,
         // but the (primary-only) bitmap was never maintained here.
-        slab.slot(1).unwrap().initialize(5, Bytes::from_static(b"a"));
-        slab.slot(3).unwrap().initialize(6, Bytes::from_static(b"b"));
+        slab.slot(1)
+            .unwrap()
+            .initialize(5, Bytes::from_static(b"a"));
+        slab.slot(3)
+            .unwrap()
+            .initialize(6, Bytes::from_static(b"b"));
         slab.rebuild_bitmap_from_headers();
         assert_eq!(slab.free_slots(), 2);
         let x = slab.allocate().unwrap();

@@ -80,7 +80,11 @@ impl FaultPlane {
 }
 
 fn group_of(groups: &[(NodeId, u32)], node: NodeId) -> u32 {
-    groups.iter().find(|(n, _)| *n == node).map(|(_, g)| *g).unwrap_or(0)
+    groups
+        .iter()
+        .find(|(n, _)| *n == node)
+        .map(|(_, g)| *g)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

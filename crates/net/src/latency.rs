@@ -30,7 +30,11 @@ impl LatencyModel {
     /// A model loosely calibrated to the paper's testbed: ~2.5 µs one-sided
     /// reads, ~3 µs writes-to-ack, ~7 µs RPC one-way under load.
     pub fn datacenter() -> Self {
-        LatencyModel { rdma_read_ns: 2_500, rdma_write_ns: 3_000, rpc_ns: 7_000 }
+        LatencyModel {
+            rdma_read_ns: 2_500,
+            rdma_write_ns: 3_000,
+            rpc_ns: 7_000,
+        }
     }
 
     /// Injects the read latency.
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn nonzero_model_actually_waits() {
-        let m = LatencyModel { rdma_read_ns: 200_000, rdma_write_ns: 0, rpc_ns: 0 };
+        let m = LatencyModel {
+            rdma_read_ns: 200_000,
+            rdma_write_ns: 0,
+            rpc_ns: 0,
+        };
         let start = std::time::Instant::now();
         m.apply_read();
         assert!(start.elapsed() >= Duration::from_micros(150));

@@ -111,6 +111,40 @@ impl OneSidedMeter {
         self.stats.record(Verb::HardwareAck, 0);
     }
 
+    /// Accounts for **one** one-sided RDMA read message carrying `ops`
+    /// logical reads and `bytes` total payload. Latency is injected once —
+    /// that is the point of batching.
+    #[inline]
+    pub fn read_batch(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::RdmaRead, ops, bytes);
+        self.latency.apply_read();
+    }
+
+    /// Accounts for **one** one-sided RDMA write message carrying `ops`
+    /// logical writes and `bytes` total payload (e.g. a COMMIT-BACKUP record
+    /// holding a transaction's whole write set for one backup).
+    #[inline]
+    pub fn write_batch(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::RdmaWrite, ops, bytes);
+        self.latency.apply_write();
+    }
+
+    /// Accounts for a two-sided message of `bytes` payload bytes processed by
+    /// the remote CPU.
+    #[inline]
+    pub fn rpc(&self, bytes: usize) {
+        self.stats.record(Verb::Rpc, bytes);
+        self.latency.apply_rpc();
+    }
+
+    /// Accounts for **one** two-sided message carrying `ops` logical
+    /// operations (e.g. a LOCK batch of `ops` writes for one primary).
+    #[inline]
+    pub fn rpc_batch(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::Rpc, ops, bytes);
+        self.latency.apply_rpc();
+    }
+
     /// The underlying statistics sink.
     pub fn stats(&self) -> &std::sync::Arc<NetStats> {
         &self.stats
@@ -144,5 +178,23 @@ mod tests {
         assert_eq!(snap.bytes(Verb::RdmaRead), 192);
         assert_eq!(snap.count(Verb::RdmaWrite), 1);
         assert_eq!(snap.count(Verb::HardwareAck), 1);
+    }
+
+    #[test]
+    fn one_sided_meter_batches_count_one_message() {
+        let stats = Arc::new(NetStats::default());
+        let meter = OneSidedMeter::new(stats.clone(), LatencyModel::zero());
+        meter.rpc_batch(8, 8 * 64);
+        meter.write_batch(8, 8 * 64 + 64);
+        meter.read_batch(2, 32);
+        let snap = stats.snapshot();
+        assert_eq!(snap.count(Verb::Rpc), 1);
+        assert_eq!(snap.ops(Verb::Rpc), 8);
+        assert_eq!(snap.count(Verb::RdmaWrite), 1);
+        assert_eq!(snap.ops(Verb::RdmaWrite), 8);
+        assert_eq!(snap.count(Verb::RdmaRead), 1);
+        assert_eq!(snap.ops(Verb::RdmaRead), 2);
+        assert_eq!(snap.total_messages(), 3);
+        assert_eq!(snap.total_ops(), 18);
     }
 }

@@ -73,7 +73,9 @@ impl<M: Send + 'static> Network<M> {
     /// latency model.
     pub fn new(faults: Arc<FaultPlane>, stats: Arc<NetStats>, latency: LatencyModel) -> Self {
         Network {
-            registry: RwLock::new(Registry { inboxes: Vec::new() }),
+            registry: RwLock::new(Registry {
+                inboxes: Vec::new(),
+            }),
             faults,
             stats,
             latency,
@@ -82,7 +84,11 @@ impl<M: Send + 'static> Network<M> {
 
     /// Creates a network with no faults, fresh statistics and zero latency.
     pub fn simple() -> Self {
-        Self::new(Arc::new(FaultPlane::new()), Arc::new(NetStats::default()), LatencyModel::zero())
+        Self::new(
+            Arc::new(FaultPlane::new()),
+            Arc::new(NetStats::default()),
+            LatencyModel::zero(),
+        )
     }
 
     /// Registers a node and returns the receiving end of its inbox.
@@ -195,7 +201,10 @@ mod tests {
     fn send_to_unknown_node_fails() {
         let net: Network<u32> = Network::simple();
         net.register(NodeId(0));
-        assert_eq!(net.send(NodeId(0), NodeId(9), 1), Err(NetError::UnknownNode(NodeId(9))));
+        assert_eq!(
+            net.send(NodeId(0), NodeId(9), 1),
+            Err(NetError::UnknownNode(NodeId(9)))
+        );
     }
 
     #[test]
@@ -227,8 +236,7 @@ mod tests {
         let b = net.register(NodeId(1));
         let c = net.register(NodeId(2));
         net.faults().kill(NodeId(2));
-        let failed =
-            net.broadcast(NodeId(0), &[NodeId(0), NodeId(1), NodeId(2)], 7);
+        let failed = net.broadcast(NodeId(0), &[NodeId(0), NodeId(1), NodeId(2)], 7);
         assert_eq!(failed, vec![NodeId(2)]);
         assert_eq!(b.try_recv().unwrap().msg, 7);
         assert!(c.try_recv().is_err());

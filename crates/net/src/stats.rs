@@ -1,4 +1,12 @@
-//! Per-node network statistics: message counts and bytes by verb.
+//! Per-node network statistics: message counts, logical operations and bytes
+//! by verb.
+//!
+//! Messages and operations are tracked separately because the commit
+//! protocol batches per destination: a LOCK message carrying K writes for one
+//! primary is **one** message (`count`) but **K** logical operations (`ops`).
+//! The divergence of the two curves is exactly the batching win the paper's
+//! coordinator gets from fanning out one message per machine rather than one
+//! per object.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,7 +28,12 @@ pub enum Verb {
     Rpc,
 }
 
-const VERBS: [Verb; 4] = [Verb::RdmaRead, Verb::RdmaWrite, Verb::HardwareAck, Verb::Rpc];
+const VERBS: [Verb; 4] = [
+    Verb::RdmaRead,
+    Verb::RdmaWrite,
+    Verb::HardwareAck,
+    Verb::Rpc,
+];
 
 fn verb_index(v: Verb) -> usize {
     match v {
@@ -36,6 +49,7 @@ fn verb_index(v: Verb) -> usize {
 #[derive(Debug, Default)]
 pub struct NetStats {
     counts: [AtomicU64; 4],
+    ops: [AtomicU64; 4],
     bytes: [AtomicU64; 4],
 }
 
@@ -43,8 +57,18 @@ impl NetStats {
     /// Records one operation of kind `verb` carrying `bytes` payload bytes.
     #[inline]
     pub fn record(&self, verb: Verb, bytes: usize) {
+        self.record_batch(verb, 1, bytes);
+    }
+
+    /// Records **one message** of kind `verb` carrying `ops` logical
+    /// operations and `bytes` payload bytes in total. This is the batched
+    /// form used by the commit driver: K writes destined to one primary are
+    /// one message with `ops == K`.
+    #[inline]
+    pub fn record_batch(&self, verb: Verb, ops: u64, bytes: usize) {
         let i = verb_index(verb);
         self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.ops[i].fetch_add(ops, Ordering::Relaxed);
         self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
@@ -55,6 +79,7 @@ impl NetStats {
         for v in VERBS {
             let i = verb_index(v);
             snap.counts[i] = self.counts[i].load(Ordering::Relaxed);
+            snap.ops[i] = self.ops[i].load(Ordering::Relaxed);
             snap.bytes[i] = self.bytes[i].load(Ordering::Relaxed);
         }
         snap
@@ -64,6 +89,7 @@ impl NetStats {
     pub fn reset(&self) {
         for i in 0..4 {
             self.counts[i].store(0, Ordering::Relaxed);
+            self.ops[i].store(0, Ordering::Relaxed);
             self.bytes[i].store(0, Ordering::Relaxed);
         }
     }
@@ -73,13 +99,20 @@ impl NetStats {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct NetStatsSnapshot {
     counts: [u64; 4],
+    ops: [u64; 4],
     bytes: [u64; 4],
 }
 
 impl NetStatsSnapshot {
-    /// Number of operations of the given verb.
+    /// Number of messages of the given verb.
     pub fn count(&self, verb: Verb) -> u64 {
         self.counts[verb_index(verb)]
+    }
+
+    /// Number of logical operations carried by messages of the given verb
+    /// (equal to [`NetStatsSnapshot::count`] unless batching was used).
+    pub fn ops(&self, verb: Verb) -> u64 {
+        self.ops[verb_index(verb)]
     }
 
     /// Total payload bytes of the given verb.
@@ -92,12 +125,40 @@ impl NetStatsSnapshot {
         self.counts.iter().sum()
     }
 
+    /// Total logical operations across all verbs.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Mean batch size of the given verb (operations per message; 1.0 when
+    /// unbatched, 0.0 when idle).
+    pub fn mean_batch(&self, verb: Verb) -> f64 {
+        let i = verb_index(verb);
+        if self.counts[i] == 0 {
+            0.0
+        } else {
+            self.ops[i] as f64 / self.counts[i] as f64
+        }
+    }
+
     /// Element-wise difference `self - earlier`, for per-interval reporting.
     pub fn delta(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
         let mut out = NetStatsSnapshot::default();
         for i in 0..4 {
             out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+            out.ops[i] = self.ops[i].saturating_sub(earlier.ops[i]);
             out.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+        }
+        out
+    }
+
+    /// Element-wise sum, for aggregating per-node sinks into cluster totals.
+    pub fn merged(&self, other: &NetStatsSnapshot) -> NetStatsSnapshot {
+        let mut out = NetStatsSnapshot::default();
+        for i in 0..4 {
+            out.counts[i] = self.counts[i] + other.counts[i];
+            out.ops[i] = self.ops[i] + other.ops[i];
+            out.bytes[i] = self.bytes[i] + other.bytes[i];
         }
         out
     }
@@ -115,9 +176,24 @@ mod tests {
         s.record(Verb::RdmaRead, 64);
         let snap = s.snapshot();
         assert_eq!(snap.count(Verb::Rpc), 2);
+        assert_eq!(snap.ops(Verb::Rpc), 2);
         assert_eq!(snap.bytes(Verb::Rpc), 150);
         assert_eq!(snap.count(Verb::RdmaRead), 1);
         assert_eq!(snap.total_messages(), 3);
+        assert_eq!(snap.total_ops(), 3);
+    }
+
+    #[test]
+    fn batched_records_diverge_messages_from_ops() {
+        let s = NetStats::default();
+        // One LOCK message carrying 8 writes.
+        s.record_batch(Verb::Rpc, 8, 8 * 64);
+        let snap = s.snapshot();
+        assert_eq!(snap.count(Verb::Rpc), 1);
+        assert_eq!(snap.ops(Verb::Rpc), 8);
+        assert_eq!(snap.bytes(Verb::Rpc), 512);
+        assert_eq!(snap.mean_batch(Verb::Rpc), 8.0);
+        assert_eq!(snap.mean_batch(Verb::RdmaRead), 0.0);
     }
 
     #[test]
@@ -125,20 +201,33 @@ mod tests {
         let s = NetStats::default();
         s.record(Verb::RdmaWrite, 10);
         let a = s.snapshot();
-        s.record(Verb::RdmaWrite, 20);
+        s.record_batch(Verb::RdmaWrite, 3, 20);
         s.record(Verb::HardwareAck, 0);
         let b = s.snapshot();
         let d = b.delta(&a);
         assert_eq!(d.count(Verb::RdmaWrite), 1);
+        assert_eq!(d.ops(Verb::RdmaWrite), 3);
         assert_eq!(d.bytes(Verb::RdmaWrite), 20);
         assert_eq!(d.count(Verb::HardwareAck), 1);
     }
 
     #[test]
+    fn merged_sums_counters() {
+        let s = NetStats::default();
+        s.record_batch(Verb::Rpc, 4, 100);
+        let a = s.snapshot();
+        let m = a.merged(&a);
+        assert_eq!(m.count(Verb::Rpc), 2);
+        assert_eq!(m.ops(Verb::Rpc), 8);
+        assert_eq!(m.bytes(Verb::Rpc), 200);
+    }
+
+    #[test]
     fn reset_zeroes_counters() {
         let s = NetStats::default();
-        s.record(Verb::Rpc, 1);
+        s.record_batch(Verb::Rpc, 5, 1);
         s.reset();
         assert_eq!(s.snapshot().total_messages(), 0);
+        assert_eq!(s.snapshot().total_ops(), 0);
     }
 }

@@ -61,7 +61,11 @@ impl WorkerPool {
                 .expect("failed to spawn worker thread");
             joins.push(handle);
         }
-        WorkerPool { stop, handled, threads: joins }
+        WorkerPool {
+            stop,
+            handled,
+            threads: joins,
+        }
     }
 
     /// Number of messages handled so far.

@@ -145,7 +145,11 @@ impl TpccDatabase {
             let mut tx = engine.node(NodeId(0)).begin();
             for i in 0..config.items {
                 // (price, data)
-                db.item.put(&mut tx, &item_key(i), &enc_u64s(&[(i as u64 % 100) + 1, i as u64]))?;
+                db.item.put(
+                    &mut tx,
+                    &item_key(i),
+                    &enc_u64s(&[(i as u64 % 100) + 1, i as u64]),
+                )?;
             }
             tx.commit()?;
         }
@@ -157,17 +161,20 @@ impl TpccDatabase {
             db.warehouse.put(&mut tx, &wh_key(w), &enc_u64s(&[0]))?;
             for d in 0..config.districts_per_warehouse {
                 // (next_o_id, ytd)
-                db.district.put(&mut tx, &district_key(w, d), &enc_u64s(&[1, 0]))?;
+                db.district
+                    .put(&mut tx, &district_key(w, d), &enc_u64s(&[1, 0]))?;
                 for c in 0..config.customers_per_district {
                     // (balance, payments, deliveries)
-                    db.customer.put(&mut tx, &customer_key(w, d, c), &enc_u64s(&[1_000, 0, 0]))?;
+                    db.customer
+                        .put(&mut tx, &customer_key(w, d, c), &enc_u64s(&[1_000, 0, 0]))?;
                 }
             }
             tx.commit()?;
             let mut tx = engine.node(node).begin();
             for i in 0..config.items {
                 // (quantity, ytd)
-                db.stock.put(&mut tx, &stock_key(w, i), &enc_u64s(&[100, 0]))?;
+                db.stock
+                    .put(&mut tx, &stock_key(w, i), &enc_u64s(&[100, 0]))?;
             }
             tx.commit()?;
         }
@@ -195,8 +202,9 @@ impl TpccDatabase {
         rng: &mut R,
     ) -> Result<TpccOutcome, TxError> {
         let nodes = self.engine.nodes().len() as u32;
-        let local_warehouses: Vec<u32> =
-            (0..self.warehouses).filter(|w| w % nodes == node.0).collect();
+        let local_warehouses: Vec<u32> = (0..self.warehouses)
+            .filter(|w| w % nodes == node.0)
+            .collect();
         let w = local_warehouses[rng.gen_range(0..local_warehouses.len())];
         let d = rng.gen_range(0..self.config.districts_per_warehouse);
         let c = rng.gen_range(0..self.config.customers_per_district);
@@ -231,7 +239,11 @@ impl TpccDatabase {
             .ok_or(TxError::InvalidOperation("missing district"))?;
         let o_id = dec_u64(&district, 0) as u32;
         let ytd = dec_u64(&district, 1);
-        self.district.put(&mut tx, &district_key(w, d), &enc_u64s(&[o_id as u64 + 1, ytd]))?;
+        self.district.put(
+            &mut tx,
+            &district_key(w, d),
+            &enc_u64s(&[o_id as u64 + 1, ytd]),
+        )?;
         let _cust = self.customer.get(&mut tx, &customer_key(w, d, c))?;
         let lines = rng.gen_range(5..=15u32);
         let mut total = 0u64;
@@ -255,9 +267,16 @@ impl TpccDatabase {
             let qty = dec_u64(&stock, 0);
             let s_ytd = dec_u64(&stock, 1);
             let order_qty = rng.gen_range(1..=10u64);
-            let new_qty = if qty > order_qty + 10 { qty - order_qty } else { qty + 91 - order_qty };
-            self.stock
-                .put(&mut tx, &stock_key(supply_w, i), &enc_u64s(&[new_qty, s_ytd + order_qty]))?;
+            let new_qty = if qty > order_qty + 10 {
+                qty - order_qty
+            } else {
+                qty + 91 - order_qty
+            };
+            self.stock.put(
+                &mut tx,
+                &stock_key(supply_w, i),
+                &enc_u64s(&[new_qty, s_ytd + order_qty]),
+            )?;
             total += price * order_qty;
             self.order_lines.put(
                 &mut tx,
@@ -265,9 +284,13 @@ impl TpccDatabase {
                 &enc_u64s(&[i as u64, order_qty, price]),
             )?;
         }
-        self.orders
-            .put(&mut tx, order_key(w, d, o_id), &enc_u64s(&[c as u64, lines as u64, total]))?;
-        self.new_orders.put(&mut tx, order_key(w, d, o_id), &enc_u64s(&[c as u64]))?;
+        self.orders.put(
+            &mut tx,
+            order_key(w, d, o_id),
+            &enc_u64s(&[c as u64, lines as u64, total]),
+        )?;
+        self.new_orders
+            .put(&mut tx, order_key(w, d, o_id), &enc_u64s(&[c as u64]))?;
         tx.commit()?;
         Ok(())
     }
@@ -287,7 +310,8 @@ impl TpccDatabase {
             .warehouse
             .get(&mut tx, &wh_key(w))?
             .ok_or(TxError::InvalidOperation("missing warehouse"))?;
-        self.warehouse.put(&mut tx, &wh_key(w), &enc_u64s(&[dec_u64(&wh, 0) + amount]))?;
+        self.warehouse
+            .put(&mut tx, &wh_key(w), &enc_u64s(&[dec_u64(&wh, 0) + amount]))?;
         let district = self
             .district
             .get(&mut tx, &district_key(w, d))?
@@ -305,13 +329,24 @@ impl TpccDatabase {
         self.customer.put(
             &mut tx,
             &customer_key(w, d, c),
-            &enc_u64s(&[balance.saturating_sub(amount), dec_u64(&cust, 1) + 1, dec_u64(&cust, 2)]),
+            &enc_u64s(&[
+                balance.saturating_sub(amount),
+                dec_u64(&cust, 1) + 1,
+                dec_u64(&cust, 2),
+            ]),
         )?;
         tx.commit()?;
         Ok(())
     }
 
-    fn order_status(&self, node: NodeId, w: u32, d: u32, c: u32, opts: TxOptions) -> Result<(), TxError> {
+    fn order_status(
+        &self,
+        node: NodeId,
+        w: u32,
+        d: u32,
+        c: u32,
+        opts: TxOptions,
+    ) -> Result<(), TxError> {
         let mut tx = self.engine.node(node).begin_with(opts);
         let _cust = self.customer.get(&mut tx, &customer_key(w, d, c))?;
         // Most recent order of the district (scan backwards is emulated by a
@@ -320,7 +355,9 @@ impl TpccDatabase {
         if let Some((okey, row)) = orders.last() {
             let o_id = (okey & 0xFFFF_FFFF) as u32;
             let lines = dec_u64(row, 1) as usize;
-            let _ = self.order_lines.scan(&mut tx, orderline_key(w, d, o_id, 0), lines)?;
+            let _ = self
+                .order_lines
+                .scan(&mut tx, orderline_key(w, d, o_id, 0), lines)?;
         }
         tx.commit()?;
         Ok(())
@@ -330,7 +367,9 @@ impl TpccDatabase {
         let mut tx = self.engine.node(node).begin_with(opts);
         for d in 0..self.config.districts_per_warehouse {
             let pending = self.new_orders.scan(&mut tx, order_key(w, d, 0), 1)?;
-            let Some((okey, row)) = pending.first() else { continue };
+            let Some((okey, row)) = pending.first() else {
+                continue;
+            };
             if *okey >= order_key(w, d + 1, 0) {
                 continue; // the scan ran into the next district
             }
@@ -349,7 +388,11 @@ impl TpccDatabase {
             self.customer.put(
                 &mut tx,
                 &customer_key(w, d, c),
-                &enc_u64s(&[dec_u64(&cust, 0) + total, dec_u64(&cust, 1), dec_u64(&cust, 2) + 1]),
+                &enc_u64s(&[
+                    dec_u64(&cust, 0) + total,
+                    dec_u64(&cust, 1),
+                    dec_u64(&cust, 2) + 1,
+                ]),
             )?;
         }
         tx.commit()?;
@@ -423,7 +466,10 @@ mod tests {
         for i in 0..120 {
             let node = NodeId(i % 3);
             let kind = TpccTxKind::sample(&mut rng);
-            match db.execute(node, kind, TxOptions::serializable(), &mut rng).unwrap() {
+            match db
+                .execute(node, kind, TxOptions::serializable(), &mut rng)
+                .unwrap()
+            {
                 TpccOutcome::Committed(k) => {
                     committed += 1;
                     if k == TpccTxKind::NewOrder {
@@ -444,7 +490,12 @@ mod tests {
         let db = TpccDatabase::load(&engine, tiny()).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            let _ = db.execute(NodeId(0), TpccTxKind::NewOrder, TxOptions::serializable(), &mut rng);
+            let _ = db.execute(
+                NodeId(0),
+                TpccTxKind::NewOrder,
+                TxOptions::serializable(),
+                &mut rng,
+            );
         }
         // The next_o_id of at least one district of warehouse 0 must have
         // advanced beyond its initial value of 1.
@@ -452,7 +503,11 @@ mod tests {
         let mut tx = node.begin();
         let mut advanced = false;
         for d in 0..tiny().districts_per_warehouse {
-            let row = db.district.get(&mut tx, &district_key(0, d)).unwrap().unwrap();
+            let row = db
+                .district
+                .get(&mut tx, &district_key(0, d))
+                .unwrap()
+                .unwrap();
             if dec_u64(&row, 0) > 1 {
                 advanced = true;
             }
@@ -470,8 +525,13 @@ mod tests {
         let mut committed = 0;
         for _ in 0..40 {
             if matches!(
-                db.execute(NodeId(0), TpccTxKind::sample(&mut rng), TxOptions::serializable(), &mut rng)
-                    .unwrap(),
+                db.execute(
+                    NodeId(0),
+                    TpccTxKind::sample(&mut rng),
+                    TxOptions::serializable(),
+                    &mut rng
+                )
+                .unwrap(),
                 TpccOutcome::Committed(_)
             ) {
                 committed += 1;

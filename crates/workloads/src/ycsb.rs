@@ -29,7 +29,13 @@ pub struct YcsbConfig {
 
 impl Default for YcsbConfig {
     fn default() -> Self {
-        YcsbConfig { keys: 10_000, value_size: 64, read_fraction: 0.5, zipf_theta: 0.0, scan_length: 0 }
+        YcsbConfig {
+            keys: 10_000,
+            value_size: 64,
+            read_fraction: 0.5,
+            zipf_theta: 0.0,
+            scan_length: 0,
+        }
     }
 }
 
@@ -78,7 +84,12 @@ impl YcsbDatabase {
             tx.commit()?;
         }
         let zipf = Zipf::new(config.keys, config.zipf_theta);
-        Ok(YcsbDatabase { engine: Arc::clone(engine), tree, config, zipf })
+        Ok(YcsbDatabase {
+            engine: Arc::clone(engine),
+            tree,
+            config,
+            zipf,
+        })
     }
 
     /// The underlying B-tree.
@@ -102,9 +113,19 @@ impl YcsbDatabase {
             // average.
             let p_scan = 1.0 / (1.0 + self.config.scan_length as f64);
             if rng.gen::<f64>() < p_scan {
-                let max_start = self.config.keys.saturating_sub(self.config.scan_length as u64);
-                let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
-                return YcsbOp::Scan { start, len: self.config.scan_length };
+                let max_start = self
+                    .config
+                    .keys
+                    .saturating_sub(self.config.scan_length as u64);
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_start)
+                };
+                return YcsbOp::Scan {
+                    start,
+                    len: self.config.scan_length,
+                };
             }
             return YcsbOp::Update(rng.gen_range(0..self.config.keys));
         }
@@ -130,7 +151,8 @@ impl YcsbDatabase {
             }
             YcsbOp::Update(key) => {
                 let mut tx = engine_node.begin_with(opts);
-                self.tree.put(&mut tx, *key, &value_for(*key, self.config.value_size))?;
+                self.tree
+                    .put(&mut tx, *key, &value_for(*key, self.config.value_size))?;
                 tx.commit()?;
                 Ok(1)
             }
@@ -162,7 +184,13 @@ mod tests {
         let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
         let db = YcsbDatabase::load(
             &engine,
-            YcsbConfig { keys: 200, value_size: 32, read_fraction: 0.5, zipf_theta: theta, scan_length },
+            YcsbConfig {
+                keys: 200,
+                value_size: 32,
+                read_fraction: 0.5,
+                zipf_theta: theta,
+                scan_length,
+            },
         )
         .unwrap();
         (engine, db)
@@ -176,7 +204,9 @@ mod tests {
         for _ in 0..50 {
             let op = db.next_op(&mut rng);
             assert!(!matches!(op, YcsbOp::Scan { .. }));
-            touched += db.execute(NodeId(1), &op, TxOptions::serializable()).unwrap_or(0);
+            touched += db
+                .execute(NodeId(1), &op, TxOptions::serializable())
+                .unwrap_or(0);
         }
         assert!(touched > 0);
         engine.shutdown();
@@ -199,13 +229,21 @@ mod tests {
             }
         }
         assert!(scans > 10, "scans: {scans}");
-        assert!(updates > scans, "updates should outnumber scans: {updates} vs {scans}");
+        assert!(
+            updates > scans,
+            "updates should outnumber scans: {updates} vs {scans}"
+        );
         // Execute a scan and an update for real.
         let got = db
-            .execute(NodeId(2), &YcsbOp::Scan { start: 0, len: 10 }, TxOptions::serializable())
+            .execute(
+                NodeId(2),
+                &YcsbOp::Scan { start: 0, len: 10 },
+                TxOptions::serializable(),
+            )
             .unwrap();
         assert_eq!(got, 10);
-        db.execute(NodeId(0), &YcsbOp::Update(5), TxOptions::serializable()).unwrap();
+        db.execute(NodeId(0), &YcsbOp::Update(5), TxOptions::serializable())
+            .unwrap();
         engine.shutdown();
     }
 

@@ -26,7 +26,14 @@ impl Zipf {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -108,7 +115,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(max / min < 2.0, "uniform sampling too skewed: {min} .. {max}");
+        assert!(
+            max / min < 2.0,
+            "uniform sampling too skewed: {min} .. {max}"
+        );
     }
 
     #[test]

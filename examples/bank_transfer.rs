@@ -53,10 +53,16 @@ fn main() {
                         Ok(b) => u64::from_le_bytes(b[..8].try_into().unwrap()),
                         Err(_) => continue,
                     };
-                    if tx.write(from, (b_from - amount).to_le_bytes().to_vec()).is_err() {
+                    if tx
+                        .write(from, (b_from - amount).to_le_bytes().to_vec())
+                        .is_err()
+                    {
                         continue;
                     }
-                    if tx.write(to, (b_to + amount).to_le_bytes().to_vec()).is_err() {
+                    if tx
+                        .write(to, (b_to + amount).to_le_bytes().to_vec())
+                        .is_err()
+                    {
                         continue;
                     }
                     if tx.commit().is_ok() {
@@ -85,7 +91,11 @@ fn main() {
             }
         }
         if ok {
-            assert_eq!(total, ACCOUNTS as u64 * INITIAL, "audit saw an inconsistent snapshot!");
+            assert_eq!(
+                total,
+                ACCOUNTS as u64 * INITIAL,
+                "audit saw an inconsistent snapshot!"
+            );
             println!("audit {round}: total balance = {total} (consistent)");
         } else {
             println!("audit {round}: aborted (snapshot no longer available), retrying later");

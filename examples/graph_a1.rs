@@ -7,8 +7,8 @@
 //! Run with: `cargo run --example graph_a1`
 
 use farm_repro::core_engine::ParallelQuery;
-use farm_repro::{ClusterConfig, Engine, EngineConfig, NodeId};
 use farm_repro::index::HashTable;
+use farm_repro::{ClusterConfig, Engine, EngineConfig, NodeId};
 
 fn main() {
     let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
@@ -24,10 +24,26 @@ fn main() {
     let wilson = tx.alloc(b"vertex:Russell Wilson".as_slice()).unwrap();
     let edge = tx.alloc(b"edge:sacked:2019-10-03".as_slice()).unwrap();
     // Outgoing / incoming edge lists: store the edge + peer addresses.
-    let out_list = tx.alloc([edge.pack().to_le_bytes(), wilson.pack().to_le_bytes()].concat()).unwrap();
-    let in_list = tx.alloc([edge.pack().to_le_bytes(), jones.pack().to_le_bytes()].concat()).unwrap();
-    index.put(&mut tx, b"Chandler Jones", &[jones.pack().to_le_bytes(), out_list.pack().to_le_bytes()].concat()).unwrap();
-    index.put(&mut tx, b"Russell Wilson", &[wilson.pack().to_le_bytes(), in_list.pack().to_le_bytes()].concat()).unwrap();
+    let out_list = tx
+        .alloc([edge.pack().to_le_bytes(), wilson.pack().to_le_bytes()].concat())
+        .unwrap();
+    let in_list = tx
+        .alloc([edge.pack().to_le_bytes(), jones.pack().to_le_bytes()].concat())
+        .unwrap();
+    index
+        .put(
+            &mut tx,
+            b"Chandler Jones",
+            &[jones.pack().to_le_bytes(), out_list.pack().to_le_bytes()].concat(),
+        )
+        .unwrap();
+    index
+        .put(
+            &mut tx,
+            b"Russell Wilson",
+            &[wilson.pack().to_le_bytes(), in_list.pack().to_le_bytes()].concat(),
+        )
+        .unwrap();
     tx.commit().expect("graph update");
     println!("created 2 vertices, 1 edge, 2 edge lists and 2 index entries in one transaction");
 
@@ -37,9 +53,13 @@ fn main() {
     let results = query
         .map_nodes(&[NodeId(1)], |_node, tx| {
             let entry = index.get(tx, b"Chandler Jones")?.expect("indexed");
-            let out_addr = farm_repro::core_engine::Addr::unpack(u64::from_le_bytes(entry[8..16].try_into().unwrap()));
+            let out_addr = farm_repro::core_engine::Addr::unpack(u64::from_le_bytes(
+                entry[8..16].try_into().unwrap(),
+            ));
             let out = tx.read(out_addr)?;
-            let peer = farm_repro::core_engine::Addr::unpack(u64::from_le_bytes(out[8..16].try_into().unwrap()));
+            let peer = farm_repro::core_engine::Addr::unpack(u64::from_le_bytes(
+                out[8..16].try_into().unwrap(),
+            ));
             let peer_data = tx.read(peer)?;
             Ok(String::from_utf8_lossy(&peer_data).into_owned())
         })

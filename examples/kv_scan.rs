@@ -9,13 +9,18 @@ use farm_repro::index::BTree;
 use farm_repro::{ClusterConfig, Engine, EngineConfig, NodeId};
 
 fn run(multi_version: bool) {
-    let cfg = if multi_version { EngineConfig::multi_version() } else { EngineConfig::default() };
+    let cfg = if multi_version {
+        EngineConfig::multi_version()
+    } else {
+        EngineConfig::default()
+    };
     let engine = Engine::start_cluster(ClusterConfig::test(3), cfg);
     let node = engine.node(NodeId(0));
     let tree = BTree::create(&engine, NodeId(0));
     let mut tx = node.begin();
     for k in 0..200u64 {
-        tree.put(&mut tx, k, format!("value-{k}").as_bytes()).unwrap();
+        tree.put(&mut tx, k, format!("value-{k}").as_bytes())
+            .unwrap();
     }
     tx.commit().unwrap();
 
@@ -33,7 +38,8 @@ fn run(multi_version: bool) {
         Ok(rows) => println!(
             "multi_version={multi_version}: scan completed with {} rows, all from the snapshot: {}",
             rows.len(),
-            rows.iter().all(|(k, v)| v == format!("value-{k}").as_bytes())
+            rows.iter()
+                .all(|(k, v)| v == format!("value-{k}").as_bytes())
         ),
         Err(e) => println!("multi_version={multi_version}: scan aborted ({e})"),
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use farm_repro::{Engine, EngineConfig, ClusterConfig, NodeId};
+use farm_repro::{ClusterConfig, Engine, EngineConfig, NodeId};
 
 fn main() {
     // A 3-machine cluster with 3-way replication; node 0 is the initial
@@ -22,7 +22,11 @@ fn main() {
     let reader = engine.node(NodeId(1));
     let mut tx = reader.begin();
     let value = tx.read(addr).expect("read");
-    println!("node 1 read: {:?} (read timestamp {})", String::from_utf8_lossy(&value), tx.read_ts());
+    println!(
+        "node 1 read: {:?} (read timestamp {})",
+        String::from_utf8_lossy(&value),
+        tx.read_ts()
+    );
     tx.commit().expect("read-only commit is a no-op");
 
     // Update it, then show the aggregate statistics.
@@ -32,7 +36,9 @@ fn main() {
     let stats = engine.aggregate_stats();
     println!(
         "committed {} read-write and {} read-only transactions, {} aborts",
-        stats.commits_rw, stats.commits_ro, stats.aborts()
+        stats.commits_rw,
+        stats.commits_ro,
+        stats.aborts()
     );
     engine.shutdown();
     engine.cluster().shutdown();

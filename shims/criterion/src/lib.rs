@@ -1,0 +1,206 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Implements the subset used by this workspace's `benches/`: benchmark
+//! groups with `measurement_time` / `sample_size`, `bench_function` with a
+//! [`Bencher`] whose `iter` times the closure, and the `criterion_group!` /
+//! `criterion_main!` macros. Results (mean, p50, p99 per iteration) are
+//! printed to stdout. There is no statistical analysis, HTML report or
+//! comparison against saved baselines — this is a timing loop, sized so the
+//! benches run in seconds.
+
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_measurement: Duration::from_secs(1),
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement: self.default_measurement,
+            samples: self.default_samples,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let measurement = self.default_measurement;
+        let samples = self.default_samples;
+        run_one("", name, measurement, samples, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target wall-clock time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &name.into(),
+            self.measurement,
+            self.samples,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    /// Per-sample iteration count decided by the calibration pass.
+    iters: u64,
+    /// Nanoseconds of the last `iter` call, filled in by `iter`.
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to make the sample meaningful.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// An identity function that hides a value from the optimizer.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    // Calibration: find an iteration count that makes one sample last about
+    // measurement/samples, starting from a single iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let target_sample_ns = (measurement.as_nanos() as u64 / samples.max(1) as u64).max(1);
+    let per_iter = (b.elapsed_ns / b.iters).max(1);
+    let iters = (target_sample_ns / per_iter).clamp(1, 10_000_000);
+
+    let mut per_iter_ns: Vec<u64> = Vec::with_capacity(samples);
+    let total_start = Instant::now();
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed_ns / iters.max(1));
+        if total_start.elapsed() > measurement.saturating_mul(2) {
+            break; // Keep slow benches bounded.
+        }
+    }
+    per_iter_ns.sort_unstable();
+    let pct = |p: f64| per_iter_ns[((per_iter_ns.len() - 1) as f64 * p) as usize];
+    let mean = per_iter_ns.iter().sum::<u64>() / per_iter_ns.len() as u64;
+    println!(
+        "bench {label:<40} mean {mean:>10} ns/iter  p50 {:>10} ns  p99 {:>10} ns  ({} samples x {} iters)",
+        pct(0.5),
+        pct(0.99),
+        per_iter_ns.len(),
+        iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -1,0 +1,368 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, range and tuple
+//! strategies, `prop::collection::vec`, and `prop_assert!` /
+//! `prop_assert_eq!`. Inputs are drawn from a deterministic RNG so failures
+//! reproduce across runs. Unlike the real crate there is **no shrinking**:
+//! a failing case is reported with its generated inputs as-is (via the
+//! panic message), which is adequate for the small input spaces used here.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+pub mod test_runner {
+    //! Configuration and error types for the macro-generated runners.
+
+    /// Runner configuration (field-compatible subset of the real crate's).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Failure of one generated test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Re-export under the name the real crate uses in `prelude`.
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of random values of type `Value`.
+///
+/// This shim's strategies are pure generators: `generate` draws one value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy producing a constant value (`Just` in the real crate).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut StdRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(lo..hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::{SizeRange, Strategy};
+    use rand::{Rng, StdRng};
+
+    /// Strategy producing `Vec`s whose length is drawn from a size range and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Inclusive bounds on a generated collection's size.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Deterministic per-test RNG (fixed seed; cases differ because generation
+/// advances the stream).
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    // Mix the test name so distinct properties see distinct streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// The `proptest` prelude: strategy trait, config, macros and the `prop`
+/// namespace.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespace mirror of the real crate's `prop::` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let inputs = format!(concat!($("\n  ", stringify!($arg), " = {:?}",)* "{}"), $(&$arg,)* "");
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:{}",
+                            case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[doc = $doc])*
+                #[test]
+                fn $name( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -50i32..50) {
+            prop_assert!(x < 100);
+            prop_assert!((-50..50).contains(&y), "y out of range: {}", y);
+        }
+
+        /// Vec strategies respect size and element bounds.
+        #[test]
+        fn vecs_in_bounds(v in prop::collection::vec((1u64..10, 0u8..4), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!((1..10).contains(&a));
+                prop_assert!(b < 4);
+                prop_assert_eq!(a, a);
+            }
+        }
+    }
+
+    proptest! {
+        /// The no-config form defaults to 256 cases.
+        #[test]
+        fn default_config_form(x in 0u8..=255) {
+            prop_assert!(u32::from(x) < 256);
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_case_error() {
+        fn body(x: u8) -> Result<(), TestCaseError> {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        }
+        assert!(body(3).is_err());
+        assert!(body(200).is_ok());
+        assert!(format!("{}", body(3).unwrap_err()).contains("x was 3"));
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use rand::Rng;
+        let a = crate::deterministic_rng("t1").next_u64();
+        let b = crate::deterministic_rng("t1").next_u64();
+        let c = crate::deterministic_rng("t2").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

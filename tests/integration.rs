@@ -26,23 +26,26 @@ fn transactions_survive_a_cm_failure() {
     while engine.cluster().current_config().epoch == 1 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert!(engine.cluster().current_config().epoch >= 2, "reconfiguration never happened");
+    assert!(
+        engine.cluster().current_config().epoch >= 2,
+        "reconfiguration never happened"
+    );
     let events = engine.cluster().events().snapshot();
-    assert!(events.iter().any(|e| matches!(e.kind, EventKind::ClockEnabled { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ClockEnabled { .. })));
 
     // Transactions keep working after recovery, from a surviving node.
     let mut retries = 0;
     loop {
         let mut tx = node3.begin();
-        match tx.read(addr).and_then(|v| {
-            tx.write(addr, vec![v[0] + 1]).map(|_| ())
-        }) {
-            Ok(()) => {
-                if tx.commit().is_ok() {
-                    break;
-                }
+        if let Ok(()) = tx
+            .read(addr)
+            .and_then(|v| tx.write(addr, vec![v[0] + 1]).map(|_| ()))
+        {
+            if tx.commit().is_ok() {
+                break;
             }
-            Err(_) => {}
         }
         retries += 1;
         assert!(retries < 100, "could not commit after failover");
@@ -60,7 +63,11 @@ fn serializability_of_concurrent_increments_across_engines() {
     // Run the same concurrent counter workload under FaRMv2 and verify the
     // final value equals the number of successful commits (no lost updates),
     // which is the core serializability guarantee.
-    for cfg in [EngineConfig::default(), EngineConfig::multi_version(), EngineConfig::baseline()] {
+    for cfg in [
+        EngineConfig::default(),
+        EngineConfig::multi_version(),
+        EngineConfig::baseline(),
+    ] {
         let engine = Engine::start_cluster(ClusterConfig::test(3), cfg);
         let node0 = engine.node(NodeId(0));
         let mut setup = node0.begin();
@@ -113,8 +120,12 @@ fn gc_reclaims_old_versions_once_snapshots_finish() {
         tx.write(addr, vec![i; 64]).unwrap();
         tx.commit().unwrap();
     }
-    let allocated_before: usize =
-        engine.cluster().nodes().iter().map(|n| n.old_versions().allocated_bytes()).sum();
+    let allocated_before: usize = engine
+        .cluster()
+        .nodes()
+        .iter()
+        .map(|n| n.old_versions().allocated_bytes())
+        .sum();
     assert!(allocated_before > 0, "no old-version memory was used");
     // With no active snapshots, the OAT advances and GC reclaims the blocks.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -160,7 +171,11 @@ fn strictness_orders_transactions_across_nodes_in_real_time() {
             reader.read_ts(),
             wts
         );
-        assert_eq!(reader.read(addr).unwrap()[0], i, "reader missed a committed write");
+        assert_eq!(
+            reader.read(addr).unwrap()[0],
+            i,
+            "reader missed a committed write"
+        );
         reader.commit().unwrap();
     }
     engine.shutdown();

@@ -15,7 +15,9 @@ fn run_history(config: EngineConfig, ops: &[(u8, u8, u8)]) {
     let engine = Engine::start_cluster(ClusterConfig::test(3), config);
     let node0 = engine.node(NodeId(0));
     let mut setup = node0.begin();
-    let objects: Vec<_> = (0..4).map(|_| setup.alloc(0u64.to_le_bytes().to_vec()).unwrap()).collect();
+    let objects: Vec<_> = (0..4)
+        .map(|_| setup.alloc(0u64.to_le_bytes().to_vec()).unwrap())
+        .collect();
     setup.commit().unwrap();
     let objects = Arc::new(objects);
 
@@ -36,7 +38,9 @@ fn run_history(config: EngineConfig, ops: &[(u8, u8, u8)]) {
                     for (o, d) in thread_ops {
                         for _attempt in 0..20 {
                             let mut tx = node.begin();
-                            let Ok(v) = tx.read(objects[o as usize]) else { continue };
+                            let Ok(v) = tx.read(objects[o as usize]) else {
+                                continue;
+                            };
                             let cur = u64::from_le_bytes(v[..8].try_into().unwrap());
                             if tx
                                 .write(objects[o as usize], (cur + d as u64).to_le_bytes().to_vec())
