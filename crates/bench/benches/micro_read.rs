@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the batched read path: a single `read`
+//! versus `read_many` of 1 / 8 / 64 keys, against a region whose primary is
+//! the coordinator's own machine (local bypass — no metered messages) and
+//! against a remote primary (one doorbell-batched message per primary).
+//!
+//! Besides latency, each configuration reports **messages per read** from
+//! the batch-aware `NetStats` counters: remote `read_many` of K keys on one
+//! primary costs 1/K messages per read, and local reads cost none at all.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farm_core::{Addr, Engine, EngineConfig, NodeId, RegionId};
+use farm_kernel::ClusterConfig;
+use farm_net::Verb;
+
+/// Finds a region primaried on `local` (when `want_local`) or on some other
+/// machine (when not), and allocates `count` objects there.
+fn setup_objects(
+    engine: &Arc<Engine>,
+    coordinator: NodeId,
+    want_local: bool,
+    count: usize,
+) -> (RegionId, Vec<Addr>) {
+    let region = engine
+        .cluster()
+        .regions()
+        .into_iter()
+        .find(|&r| {
+            let primary = engine.cluster().primary_of(r).unwrap();
+            (primary == coordinator) == want_local
+        })
+        .expect("test cluster has local and remote regions");
+    let node = engine.node(coordinator);
+    let mut tx = node.begin();
+    let addrs: Vec<Addr> = (0..count)
+        .map(|_| tx.alloc_in(region, vec![0u8; 64]).unwrap())
+        .collect();
+    tx.commit().unwrap();
+    (region, addrs)
+}
+
+/// Runs `reads` read-only transactions via `body` and prints the per-read
+/// message count measured on the coordinator.
+fn report_messages_per_read(
+    label: &str,
+    engine: &Arc<Engine>,
+    coordinator: NodeId,
+    rounds: u64,
+    keys_per_round: u64,
+    mut body: impl FnMut(),
+) {
+    let node = engine.node(coordinator);
+    let before = node.handle().stats().snapshot();
+    for _ in 0..rounds {
+        body();
+    }
+    let delta = node.handle().stats().snapshot().delta(&before);
+    let reads = rounds * keys_per_round;
+    println!(
+        "read-traffic {label:<28} {:>7.3} msgs/read  {:>7.3} read-ops/read",
+        delta.count(Verb::RdmaRead) as f64 / reads as f64,
+        delta.ops(Verb::RdmaRead) as f64 / reads as f64,
+    );
+}
+
+fn bench_read(c: &mut Criterion) {
+    let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::default());
+    let coordinator = NodeId(0);
+    let node = engine.node(coordinator);
+    let mut group = c.benchmark_group("read");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    for (place, want_local) in [("local", true), ("remote", false)] {
+        let (_region, addrs) = setup_objects(&engine, coordinator, want_local, 64);
+
+        group.bench_function(format!("{place}_single_read"), |b| {
+            b.iter(|| {
+                let mut tx = node.begin();
+                let v = tx.read(addrs[0]).unwrap();
+                tx.commit().unwrap();
+                v
+            })
+        });
+        for k in [1usize, 8, 64] {
+            group.bench_function(format!("{place}_read_many_{k}"), |b| {
+                b.iter(|| {
+                    let mut tx = node.begin();
+                    let v = tx.read_many(&addrs[..k]).unwrap();
+                    tx.commit().unwrap();
+                    v
+                })
+            });
+        }
+
+        report_messages_per_read(
+            &format!("{place}_single_read x8"),
+            &engine,
+            coordinator,
+            200,
+            8,
+            || {
+                let mut tx = node.begin();
+                for a in &addrs[..8] {
+                    let _ = tx.read(*a).unwrap();
+                }
+                tx.commit().unwrap();
+            },
+        );
+        report_messages_per_read(
+            &format!("{place}_read_many x8"),
+            &engine,
+            coordinator,
+            200,
+            8,
+            || {
+                let mut tx = node.begin();
+                let _ = tx.read_many(&addrs[..8]).unwrap();
+                tx.commit().unwrap();
+            },
+        );
+    }
+    group.finish();
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_read);
+criterion_main!(benches);

@@ -1,5 +1,12 @@
 //! Figure 14: YCSB throughput (50/50 read/update) as a function of the Zipf
-//! skew parameter θ, for BASELINE and FaRMv2.
+//! skew parameter θ, for BASELINE and FaRMv2 — plus a FaRMv2 multiget
+//! variant whose reads fetch 8 keys per transaction through the batched
+//! `read_many` path.
+//!
+//! Besides throughput, each row reports **messages per logical read**
+//! (`msgs_per_read`): 1.0 when every read is its own metered message,
+//! dropping below 1.0 as doorbell batching and the local-bypass fast path
+//! fold reads together.
 
 use farm_bench::{bench_duration, run_ycsb, ycsb_setup};
 use farm_core::{EngineConfig, TxOptions};
@@ -7,10 +14,11 @@ use farm_workloads::YcsbConfig;
 
 fn main() {
     let duration = bench_duration(1.5);
-    println!("system,theta,ops_per_s,abort_rate");
-    for (name, cfg) in [
-        ("BASELINE", EngineConfig::baseline()),
-        ("FaRMv2", EngineConfig::default()),
+    println!("system,theta,ops_per_s,abort_rate,msgs_per_read");
+    for (name, cfg, multiget) in [
+        ("BASELINE", EngineConfig::baseline(), 0),
+        ("FaRMv2", EngineConfig::default(), 0),
+        ("FaRMv2-mget8", EngineConfig::default(), 8),
     ] {
         for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99] {
             let (engine, db) = ycsb_setup(
@@ -22,10 +30,14 @@ fn main() {
                     read_fraction: 0.5,
                     zipf_theta: theta,
                     scan_length: 0,
+                    multiget_size: multiget,
                 },
             );
             let r = run_ycsb(&engine, &db, 6, duration, TxOptions::serializable());
-            println!("{name},{theta},{:.0},{:.4}", r.throughput, r.abort_rate);
+            println!(
+                "{name},{theta},{:.0},{:.4},{:.3}",
+                r.throughput, r.abort_rate, r.msgs_per_read
+            );
             engine.shutdown();
             engine.cluster().shutdown();
         }

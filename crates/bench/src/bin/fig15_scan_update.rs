@@ -35,7 +35,7 @@ fn main() {
             },
         ),
     ];
-    println!("system,scan_length,keys_per_s,abort_rate");
+    println!("system,scan_length,keys_per_s,abort_rate,msgs_per_read");
     for scan_length in [1usize, 10, 100, 1000] {
         for (name, engine_cfg) in &systems {
             let mut cluster_cfg = bench_cluster(3);
@@ -51,14 +51,15 @@ fn main() {
                         read_fraction: 0.5,
                         zipf_theta: 0.0,
                         scan_length,
+                        multiget_size: 0,
                     },
                 )
                 .expect("load"),
             );
             let r = run_ycsb(&engine, &db, 6, duration, TxOptions::serializable());
             println!(
-                "{name},{scan_length},{:.0},{:.4}",
-                r.throughput, r.abort_rate
+                "{name},{scan_length},{:.0},{:.4},{:.3}",
+                r.throughput, r.abort_rate, r.msgs_per_read
             );
             engine.shutdown();
             engine.cluster().shutdown();

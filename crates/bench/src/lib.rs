@@ -49,6 +49,26 @@ pub struct RunResult {
     pub ops_per_commit: f64,
     /// Mean objects per LOCK batch over the run.
     pub lock_batch_size: f64,
+    /// RDMA-read messages per logical read operation, counting local-bypass
+    /// reads (which cost no message) in the denominator: 1.0 when every read
+    /// is its own message, dropping below 1.0 as `read_many` / batched
+    /// VALIDATE fold many reads into one doorbell-batched message and as the
+    /// local-bypass fast path serves reads for free.
+    pub msgs_per_read: f64,
+    /// Mean objects per `read_many` batch over the run.
+    pub read_batch_size: f64,
+}
+
+/// Read-message amortization: RDMA-read messages per logical read, where
+/// logical reads are the metered read ops plus the `local_bypass_reads`
+/// served without any message (see [`RunResult::msgs_per_read`]).
+pub fn msgs_per_read(net_delta: &farm_net::NetStatsSnapshot, local_bypass_reads: u64) -> f64 {
+    let reads = net_delta.ops(farm_net::Verb::RdmaRead) + local_bypass_reads;
+    if reads == 0 {
+        0.0
+    } else {
+        net_delta.count(farm_net::Verb::RdmaRead) as f64 / reads as f64
+    }
 }
 
 /// Sums the per-node network statistics into one cluster-wide snapshot.
@@ -167,6 +187,8 @@ pub fn run_tpcc(
         msgs_per_commit: net_delta.total_messages() as f64 / commits as f64,
         ops_per_commit: net_delta.total_ops() as f64 / commits as f64,
         lock_batch_size: delta.mean_lock_batch_size(),
+        msgs_per_read: msgs_per_read(&net_delta, delta.read_local_bypass),
+        read_batch_size: delta.mean_read_batch_size(),
     }
 }
 
@@ -235,6 +257,8 @@ pub fn run_ycsb(
         msgs_per_commit: net_delta.total_messages() as f64 / commits as f64,
         ops_per_commit: net_delta.total_ops() as f64 / commits as f64,
         lock_batch_size: delta.mean_lock_batch_size(),
+        msgs_per_read: msgs_per_read(&net_delta, delta.read_local_bypass),
+        read_batch_size: delta.mean_read_batch_size(),
         ..Default::default()
     }
 }

@@ -7,6 +7,26 @@
 //! *stale snapshot read*). Slaves with a read timestamp below their node's
 //! `GC_local` are rejected, which is what makes it safe to garbage-collect
 //! old versions while such queries are in flight.
+//!
+//! # Concurrency semantics
+//!
+//! [`ParallelQuery::map_nodes`] executes the per-node closures **in
+//! parallel**, one scoped thread per node, mirroring the paper's fan-out of
+//! slave work across machines. The closure therefore must be `Fn + Sync`
+//! (it is shared by the worker threads) and the produced values `Send`.
+//! Every slave reads at the master's snapshot, so the results are mutually
+//! consistent however the threads interleave; if any slave fails, the first
+//! failure in node order is returned (the remaining slaves still run to
+//! completion — there is no cross-node cancellation, matching the
+//! at-a-snapshot model where slaves cannot invalidate each other).
+//! [`ParallelQuery::map_nodes_seq`] is the sequential escape hatch for
+//! closures that need `FnMut` or must not run concurrently.
+//!
+//! The snapshot stays pinned (protected from GC) from
+//! [`ParallelQuery::start`] until [`ParallelQuery::finish`], via a
+//! registration keyed by a **unique query id** drawn from the master
+//! engine's serial counter — two queries that happen to share a read
+//! timestamp pin and unpin independently.
 
 use std::sync::Arc;
 
@@ -22,6 +42,10 @@ pub struct ParallelQuery {
     engine: Arc<Engine>,
     master_node: NodeId,
     read_ts: u64,
+    /// Unique registration key pinning the snapshot on the master node until
+    /// `finish`. Drawn from the master engine's transaction serial counter,
+    /// so two queries never collide even at an identical read timestamp.
+    pin_serial: u64,
 }
 
 impl ParallelQuery {
@@ -35,13 +59,17 @@ impl ParallelQuery {
         // The master transaction object itself is dropped; what matters is
         // that the snapshot (read_ts) is protected from GC, which the engine
         // guarantees by keeping `read_ts` registered until `finish` is
-        // called.
-        master.register_active(u64::MAX - read_ts, read_ts);
+        // called. The registration key is a fresh serial — not derived from
+        // the timestamp — so concurrent queries at the same snapshot do not
+        // share (and prematurely release) one registration.
+        let pin_serial = master.next_serial();
+        master.register_active(pin_serial, read_ts);
         drop(tx);
         ParallelQuery {
             engine: Arc::clone(engine),
             master_node,
             read_ts,
+            pin_serial,
         }
     }
 
@@ -60,10 +88,41 @@ impl ParallelQuery {
         self.engine.node(node).begin_stale_readonly(self.read_ts)
     }
 
-    /// Runs `work` on every given node (sequentially, in the caller's thread)
-    /// and collects the results. Each invocation gets a slave transaction at
-    /// the shared snapshot.
-    pub fn map_nodes<T>(
+    /// Runs `work` on every given node **concurrently** — one scoped thread
+    /// per node, each with its own slave transaction at the shared snapshot —
+    /// and collects the results in node order. See the module docs for the
+    /// concurrency semantics.
+    pub fn map_nodes<T: Send>(
+        &self,
+        nodes: &[NodeId],
+        work: impl Fn(&Arc<NodeEngine>, &mut Transaction) -> Result<T, TxError> + Sync,
+    ) -> Result<Vec<T>, TxError> {
+        let work = &work;
+        let results: Vec<Result<T, TxError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .map(|&n| {
+                    scope.spawn(move || {
+                        let node_engine = self.engine.node(n);
+                        let mut tx = self.slave_on(n)?;
+                        let value = work(&node_engine, &mut tx)?;
+                        let _ = tx.commit()?;
+                        Ok(value)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("slave thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Sequential variant of [`ParallelQuery::map_nodes`]: runs `work` on
+    /// every node in the caller's thread, in order. Use when the closure
+    /// needs mutable state (`FnMut`) or must not execute concurrently.
+    pub fn map_nodes_seq<T>(
         &self,
         nodes: &[NodeId],
         mut work: impl FnMut(&Arc<NodeEngine>, &mut Transaction) -> Result<T, TxError>,
@@ -84,7 +143,7 @@ impl ParallelQuery {
     pub fn finish(self) {
         self.engine
             .node(self.master_node)
-            .unregister_active(u64::MAX - self.read_ts);
+            .unregister_active(self.pin_serial);
     }
 }
 
@@ -93,6 +152,7 @@ mod tests {
     use super::*;
     use crate::opts::EngineConfig;
     use farm_kernel::ClusterConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn parallel_query_reads_consistent_snapshot_across_nodes() {
@@ -127,7 +187,87 @@ mod tests {
             vec![2, 2, 2],
             "slaves must read at the query snapshot"
         );
+        // The sequential escape hatch sees the same snapshot.
+        let mut seen = Vec::new();
+        query
+            .map_nodes_seq(&nodes, |_engine, tx| {
+                seen.push(tx.read(addr)?[0]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, vec![2, 2, 2]);
         query.finish();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn map_nodes_executes_slaves_concurrently() {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        let node0 = engine.node(NodeId(0));
+        let mut tx = node0.begin();
+        let addr = tx.alloc(vec![7u8; 8]).unwrap();
+        tx.commit().unwrap();
+
+        let query = ParallelQuery::start(&engine, NodeId(0));
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let in_flight = AtomicUsize::new(0);
+        let max_in_flight = AtomicUsize::new(0);
+        let values = query
+            .map_nodes(&nodes, |_engine, tx| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                max_in_flight.fetch_max(now, Ordering::SeqCst);
+                // Hold the slot long enough for the other slaves to arrive.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let v = tx.read(addr)?[0];
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                Ok(v)
+            })
+            .unwrap();
+        assert_eq!(values, vec![7, 7, 7], "results stay snapshot-consistent");
+        assert!(
+            max_in_flight.load(Ordering::SeqCst) >= 2,
+            "slaves never overlapped: map_nodes ran sequentially"
+        );
+        query.finish();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_pin_and_release_snapshots_independently() {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        let node0 = engine.node(NodeId(0));
+        let mut tx = node0.begin();
+        let addr = tx.alloc(vec![1u8; 8]).unwrap();
+        tx.commit().unwrap();
+
+        let active_registrations = || node0.active.lock().len();
+        let before = active_registrations();
+        let q1 = ParallelQuery::start(&engine, NodeId(0));
+        let q2 = ParallelQuery::start(&engine, NodeId(0));
+        assert_eq!(
+            active_registrations(),
+            before + 2,
+            "each query holds its own registration (unique id, no key collision)"
+        );
+        // Finishing q2 must not unpin q1's snapshot.
+        q2.finish();
+        assert_eq!(active_registrations(), before + 1);
+
+        // q1's snapshot survives an overwrite + GC pressure: its slave still
+        // reads the old value.
+        let mut tx = node0.begin();
+        tx.write(addr, vec![9u8; 8]).unwrap();
+        tx.commit().unwrap();
+        for _ in 0..4 {
+            engine.cluster().control_round();
+        }
+        engine.collect_garbage_now();
+        let values = q1
+            .map_nodes(&[NodeId(0)], |_engine, tx| tx.read(addr).map(|b| b[0]))
+            .unwrap();
+        assert_eq!(values, vec![1], "q1 still reads its pinned snapshot");
+        q1.finish();
+        assert_eq!(active_registrations(), before);
         engine.shutdown();
     }
 }

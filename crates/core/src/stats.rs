@@ -31,12 +31,30 @@ pub struct EngineStats {
     pub oldver_blocks: AtomicU64,
     /// Times history was truncated due to memory pressure (MV-TRUNCATE).
     pub oldver_truncations: AtomicU64,
+    /// Reads that exhausted their bounded-backoff retry budget on a locked
+    /// head version and aborted.
+    pub read_lock_retries_exhausted: AtomicU64,
+    // ---- Batched read-path counters -------------------------------------
+    /// `read_many` batches issued (one per destination primary per call).
+    pub read_batches: AtomicU64,
+    /// Objects carried by all `read_many` batches (mean batch size =
+    /// `read_batch_objects / read_batches`).
+    pub read_batch_objects: AtomicU64,
+    /// Reads served by the local-bypass fast path (coordinator is the
+    /// primary of the target region: no network message is metered).
+    pub read_local_bypass: AtomicU64,
     // ---- Batched commit-protocol phase counters -------------------------
     /// LOCK batches sent (one per destination primary per commit attempt).
     pub lock_batches: AtomicU64,
     /// Objects carried by all LOCK batches (mean batch size =
     /// `lock_batch_objects / lock_batches`).
     pub lock_batch_objects: AtomicU64,
+    /// VALIDATE batches sent (one per destination primary holding unwritten
+    /// read-set objects, per commit attempt).
+    pub validate_batches: AtomicU64,
+    /// Objects carried by all VALIDATE batches (mean batch size =
+    /// `validate_batch_objects / validate_batches`).
+    pub validate_batch_objects: AtomicU64,
     /// COMMIT-BACKUP batches sent (one per backup destination).
     pub backup_batches: AtomicU64,
     /// COMMIT-PRIMARY batches sent (one per destination primary).
@@ -75,10 +93,22 @@ pub struct EngineStatsSnapshot {
     pub oldver_blocks: u64,
     /// MV-TRUNCATE truncations.
     pub oldver_truncations: u64,
+    /// Reads that exhausted the locked-object backoff budget.
+    pub read_lock_retries_exhausted: u64,
+    /// `read_many` batches issued.
+    pub read_batches: u64,
+    /// Objects across all `read_many` batches.
+    pub read_batch_objects: u64,
+    /// Reads served via the local-bypass fast path.
+    pub read_local_bypass: u64,
     /// LOCK batches sent.
     pub lock_batches: u64,
     /// Objects across all LOCK batches.
     pub lock_batch_objects: u64,
+    /// VALIDATE batches sent.
+    pub validate_batches: u64,
+    /// Objects across all VALIDATE batches.
+    pub validate_batch_objects: u64,
     /// COMMIT-BACKUP batches sent.
     pub backup_batches: u64,
     /// COMMIT-PRIMARY batches sent.
@@ -105,8 +135,14 @@ impl EngineStats {
             old_version_reads: self.old_version_reads.load(Ordering::Relaxed),
             oldver_blocks: self.oldver_blocks.load(Ordering::Relaxed),
             oldver_truncations: self.oldver_truncations.load(Ordering::Relaxed),
+            read_lock_retries_exhausted: self.read_lock_retries_exhausted.load(Ordering::Relaxed),
+            read_batches: self.read_batches.load(Ordering::Relaxed),
+            read_batch_objects: self.read_batch_objects.load(Ordering::Relaxed),
+            read_local_bypass: self.read_local_bypass.load(Ordering::Relaxed),
             lock_batches: self.lock_batches.load(Ordering::Relaxed),
             lock_batch_objects: self.lock_batch_objects.load(Ordering::Relaxed),
+            validate_batches: self.validate_batches.load(Ordering::Relaxed),
+            validate_batch_objects: self.validate_batch_objects.load(Ordering::Relaxed),
             backup_batches: self.backup_batches.load(Ordering::Relaxed),
             primary_batches: self.primary_batches.load(Ordering::Relaxed),
             truncate_batches: self.truncate_batches.load(Ordering::Relaxed),
@@ -169,6 +205,24 @@ impl EngineStatsSnapshot {
         }
     }
 
+    /// Mean number of objects per `read_many` batch (0 when none were sent).
+    pub fn mean_read_batch_size(&self) -> f64 {
+        if self.read_batches == 0 {
+            0.0
+        } else {
+            self.read_batch_objects as f64 / self.read_batches as f64
+        }
+    }
+
+    /// Mean number of objects per VALIDATE batch (0 when none were sent).
+    pub fn mean_validate_batch_size(&self) -> f64 {
+        if self.validate_batches == 0 {
+            0.0
+        } else {
+            self.validate_batch_objects as f64 / self.validate_batches as f64
+        }
+    }
+
     /// Element-wise difference `self - earlier`.
     pub fn delta(&self, earlier: &EngineStatsSnapshot) -> EngineStatsSnapshot {
         EngineStatsSnapshot {
@@ -184,8 +238,15 @@ impl EngineStatsSnapshot {
             old_version_reads: self.old_version_reads - earlier.old_version_reads,
             oldver_blocks: self.oldver_blocks - earlier.oldver_blocks,
             oldver_truncations: self.oldver_truncations - earlier.oldver_truncations,
+            read_lock_retries_exhausted: self.read_lock_retries_exhausted
+                - earlier.read_lock_retries_exhausted,
+            read_batches: self.read_batches - earlier.read_batches,
+            read_batch_objects: self.read_batch_objects - earlier.read_batch_objects,
+            read_local_bypass: self.read_local_bypass - earlier.read_local_bypass,
             lock_batches: self.lock_batches - earlier.lock_batches,
             lock_batch_objects: self.lock_batch_objects - earlier.lock_batch_objects,
+            validate_batches: self.validate_batches - earlier.validate_batches,
+            validate_batch_objects: self.validate_batch_objects - earlier.validate_batch_objects,
             backup_batches: self.backup_batches - earlier.backup_batches,
             primary_batches: self.primary_batches - earlier.primary_batches,
             truncate_batches: self.truncate_batches - earlier.truncate_batches,
@@ -208,8 +269,15 @@ impl EngineStatsSnapshot {
             old_version_reads: self.old_version_reads + other.old_version_reads,
             oldver_blocks: self.oldver_blocks + other.oldver_blocks,
             oldver_truncations: self.oldver_truncations + other.oldver_truncations,
+            read_lock_retries_exhausted: self.read_lock_retries_exhausted
+                + other.read_lock_retries_exhausted,
+            read_batches: self.read_batches + other.read_batches,
+            read_batch_objects: self.read_batch_objects + other.read_batch_objects,
+            read_local_bypass: self.read_local_bypass + other.read_local_bypass,
             lock_batches: self.lock_batches + other.lock_batches,
             lock_batch_objects: self.lock_batch_objects + other.lock_batch_objects,
+            validate_batches: self.validate_batches + other.validate_batches,
+            validate_batch_objects: self.validate_batch_objects + other.validate_batch_objects,
             backup_batches: self.backup_batches + other.backup_batches,
             primary_batches: self.primary_batches + other.primary_batches,
             truncate_batches: self.truncate_batches + other.truncate_batches,
@@ -269,5 +337,23 @@ mod tests {
         };
         assert_eq!(snap.mean_lock_batch_size(), 2.5);
         assert_eq!(EngineStatsSnapshot::default().mean_lock_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn mean_read_and_validate_batch_sizes() {
+        let snap = EngineStatsSnapshot {
+            read_batches: 2,
+            read_batch_objects: 16,
+            validate_batches: 3,
+            validate_batch_objects: 9,
+            ..Default::default()
+        };
+        assert_eq!(snap.mean_read_batch_size(), 8.0);
+        assert_eq!(snap.mean_validate_batch_size(), 3.0);
+        assert_eq!(EngineStatsSnapshot::default().mean_read_batch_size(), 0.0);
+        assert_eq!(
+            EngineStatsSnapshot::default().mean_validate_batch_size(),
+            0.0
+        );
     }
 }

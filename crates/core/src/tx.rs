@@ -6,7 +6,7 @@
 //! sets by destination machine and hands it to the
 //! [`CommitDriver`](crate::commit::CommitDriver) phase state machine.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -18,6 +18,45 @@ use crate::engine::NodeEngine;
 use crate::error::{AbortReason, TxError};
 use crate::opts::{IsolationLevel, TxOptions};
 use crate::stats::EngineStats;
+
+/// Bounded exponential backoff for reads that observe a locked head version.
+///
+/// The holder of a commit lock releases it within a few microseconds (install
+/// or unwind), so the ladder starts with cheap spins and escalates to yields
+/// and short sleeps; once the budget is exhausted the read aborts (and the
+/// engine counts it under `read_lock_retries_exhausted`).
+struct LockBackoff {
+    budget: u32,
+    attempt: u32,
+}
+
+impl LockBackoff {
+    fn new(budget: u32) -> LockBackoff {
+        LockBackoff { budget, attempt: 0 }
+    }
+
+    /// Waits out one backoff step. Returns `false` once the retry budget is
+    /// exhausted (the caller must abort instead of retrying again).
+    fn wait(&mut self) -> bool {
+        if self.attempt >= self.budget {
+            return false;
+        }
+        let step = self.attempt.min(10);
+        if step < 4 {
+            // 1, 2, 4, 8 spins.
+            for _ in 0..(1u32 << step) {
+                std::hint::spin_loop();
+            }
+        } else if step < 7 {
+            std::thread::yield_now();
+        } else {
+            // 1, 2, 4, 8 µs, capped.
+            std::thread::sleep(std::time::Duration::from_micros(1 << (step - 7)));
+        }
+        self.attempt += 1;
+        true
+    }
+}
 
 /// Information about a successful commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,57 +164,191 @@ impl Transaction {
     /// Reads the object at `addr` from the snapshot defined by the read
     /// timestamp. Writes buffered by this transaction are visible to its own
     /// reads.
+    ///
+    /// When the coordinator itself is the primary of the target region the
+    /// read is a plain local memory access and no network message is metered
+    /// (the local-bypass fast path, counted under `read_local_bypass`).
     pub fn read(&mut self, addr: Addr) -> Result<Bytes, TxError> {
         if let Some(buffered) = self.write_set.get(&addr) {
             return Ok(buffered.clone());
         }
-        let baseline = self.engine.config().mode.is_baseline();
         let (primary, region) = self.engine.primary_region_of(addr)?;
         let slot = region
             .slot(addr)
             .map_err(|_| self.execution_abort(AbortReason::BadAddress(addr)))?;
-        let mut retries = self.engine.config().read_lock_retries;
+        let local = primary == self.engine.id();
+        let mut backoff = LockBackoff::new(self.engine.config().read_lock_retries);
         loop {
-            // One-sided RDMA read of the head version from the primary.
-            self.engine.meter.read(64 + slot.raw_data().len());
+            // One-sided RDMA read of the head version from the primary
+            // (free when the primary is this machine).
+            self.meter_read(local, 64 + slot.raw_data().len());
             match slot.read_consistent() {
-                ConsistentRead::NotAllocated => {
-                    return Err(self.execution_abort(AbortReason::BadAddress(addr)));
-                }
                 ConsistentRead::Locked => {
-                    if retries == 0 {
+                    if !backoff.wait() {
+                        EngineStats::bump(&self.engine.stats.read_lock_retries_exhausted);
                         return Err(self.execution_abort(AbortReason::ReadLockedObject(addr)));
                     }
-                    retries -= 1;
-                    std::hint::spin_loop();
-                    continue;
                 }
-                ConsistentRead::Tombstone { ts, ovp } => {
-                    if baseline || ts <= self.read_ts {
-                        // The object was already freed at our snapshot.
-                        return Err(self.execution_abort(AbortReason::BadAddress(addr)));
-                    }
-                    // Freed after our snapshot: the pre-free history hangs
-                    // off the tombstone exactly as off a too-new head
-                    // version.
-                    return self.read_old_chain(primary, addr, ovp);
-                }
-                ConsistentRead::Value { ts, ovp, data } => {
-                    if baseline {
-                        // FaRMv1: no snapshot — the latest committed version
-                        // is returned whatever its timestamp, and consistency
-                        // is only checked at commit time (no opacity).
-                        self.read_set.insert(addr, ts);
-                        return Ok(data);
-                    }
-                    if ts <= self.read_ts {
-                        self.read_set.insert(addr, ts);
-                        return Ok(data);
-                    }
-                    // The head version is newer than our snapshot.
-                    return self.read_old_chain(primary, addr, ovp);
-                }
+                other => return self.admit_read(primary, addr, other),
             }
+        }
+    }
+
+    /// Reads many objects in one call, batching the traffic **per destination
+    /// primary**: the addresses are grouped by region (the same grouping the
+    /// commit plan uses — every region has exactly one primary), each group is
+    /// snapshotted by one
+    /// [`Region::read_consistent_batch`](farm_memory::Region::read_consistent_batch)
+    /// traversal, and one
+    /// doorbell-batched read message is metered per distinct primary, however
+    /// many objects it carries. Results are returned in input order.
+    ///
+    /// Per-slot fallbacks match [`Transaction::read`]: buffered writes are
+    /// served locally, locked slots are retried with bounded backoff
+    /// (individually — the rest of the batch is unaffected), and too-new or
+    /// tombstoned head versions fall back to the old-version chain. Batches
+    /// whose primary is the coordinator's own machine skip network metering
+    /// entirely (local bypass).
+    pub fn read_many(&mut self, addrs: &[Addr]) -> Result<Vec<Bytes>, TxError> {
+        let mut out: Vec<Option<Bytes>> = vec![None; addrs.len()];
+        // Group the cache misses by region, ascending (deterministic order,
+        // shared with the commit plan).
+        let mut by_region: BTreeMap<RegionId, Vec<usize>> = BTreeMap::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            if let Some(buffered) = self.write_set.get(&addr) {
+                out[i] = Some(buffered.clone());
+            } else {
+                by_region.entry(addr.region).or_default().push(i);
+            }
+        }
+        // Snapshot every region group in one traversal each, accumulating
+        // message accounting per destination primary: several regions with
+        // the same primary share one doorbell-batched read message.
+        let mut per_primary: BTreeMap<farm_net::NodeId, (u64, usize)> = BTreeMap::new();
+        let mut pending: Vec<(
+            usize,
+            farm_net::NodeId,
+            Arc<farm_memory::Region>,
+            ConsistentRead,
+        )> = Vec::with_capacity(addrs.len());
+        for (_region_id, idxs) in by_region {
+            let probe = addrs[idxs[0]];
+            let (primary, region) = self.engine.primary_region_of(probe)?;
+            let batch: Vec<Addr> = idxs.iter().map(|&i| addrs[i]).collect();
+            let results = region.read_consistent_batch(&batch);
+            let entry = per_primary.entry(primary).or_insert((0, 0));
+            for (&i, result) in idxs.iter().zip(results) {
+                entry.0 += 1;
+                entry.1 += 64
+                    + match &result {
+                        ConsistentRead::Value { data, .. } => data.len(),
+                        _ => 0,
+                    };
+                pending.push((i, primary, Arc::clone(&region), result));
+            }
+        }
+        // One metered message per remote primary; local batches bypass the
+        // network. Both count toward the engine-level batching statistics.
+        for (&primary, &(ops, bytes)) in &per_primary {
+            EngineStats::bump(&self.engine.stats.read_batches);
+            EngineStats::add(&self.engine.stats.read_batch_objects, ops);
+            if primary == self.engine.id() {
+                EngineStats::add(&self.engine.stats.read_local_bypass, ops);
+            } else {
+                self.engine.meter.read_batch(ops, bytes);
+            }
+        }
+        // Admit each slot's snapshot, applying the per-slot fallbacks.
+        for (i, primary, region, result) in pending {
+            let addr = addrs[i];
+            let value = match result {
+                ConsistentRead::Locked => self.reread_locked(primary, &region, addr)?,
+                other => self.admit_read(primary, addr, other)?,
+            };
+            out[i] = Some(value);
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every slot filled"))
+            .collect())
+    }
+
+    /// Re-reads a single slot that was locked inside a batch, with bounded
+    /// exponential backoff. Retry reads are metered individually (the batch
+    /// message has already completed by the time the fallback runs).
+    fn reread_locked(
+        &mut self,
+        primary: farm_net::NodeId,
+        region: &Arc<farm_memory::Region>,
+        addr: Addr,
+    ) -> Result<Bytes, TxError> {
+        let slot = region
+            .slot(addr)
+            .map_err(|_| self.execution_abort(AbortReason::BadAddress(addr)))?;
+        let local = primary == self.engine.id();
+        let mut backoff = LockBackoff::new(self.engine.config().read_lock_retries);
+        loop {
+            if !backoff.wait() {
+                EngineStats::bump(&self.engine.stats.read_lock_retries_exhausted);
+                return Err(self.execution_abort(AbortReason::ReadLockedObject(addr)));
+            }
+            self.meter_read(local, 64 + slot.raw_data().len());
+            match slot.read_consistent() {
+                ConsistentRead::Locked => continue,
+                other => return self.admit_read(primary, addr, other),
+            }
+        }
+    }
+
+    /// Admits one non-`Locked` consistent-read outcome into the read set,
+    /// resolving tombstones and too-new head versions through the old-version
+    /// chain. Shared by the single-object and batched read paths.
+    fn admit_read(
+        &mut self,
+        primary: farm_net::NodeId,
+        addr: Addr,
+        result: ConsistentRead,
+    ) -> Result<Bytes, TxError> {
+        let baseline = self.engine.config().mode.is_baseline();
+        match result {
+            ConsistentRead::Locked => unreachable!("caller handles Locked"),
+            ConsistentRead::NotAllocated => {
+                Err(self.execution_abort(AbortReason::BadAddress(addr)))
+            }
+            ConsistentRead::Tombstone { ts, ovp } => {
+                if baseline || ts <= self.read_ts {
+                    // The object was already freed at our snapshot.
+                    return Err(self.execution_abort(AbortReason::BadAddress(addr)));
+                }
+                // Freed after our snapshot: the pre-free history hangs off
+                // the tombstone exactly as off a too-new head version.
+                self.read_old_chain(primary, addr, ovp)
+            }
+            ConsistentRead::Value { ts, ovp, data } => {
+                if baseline {
+                    // FaRMv1: no snapshot — the latest committed version is
+                    // returned whatever its timestamp, and consistency is
+                    // only checked at commit time (no opacity).
+                    self.read_set.insert(addr, ts);
+                    return Ok(data);
+                }
+                if ts <= self.read_ts {
+                    self.read_set.insert(addr, ts);
+                    return Ok(data);
+                }
+                // The head version is newer than our snapshot.
+                self.read_old_chain(primary, addr, ovp)
+            }
+        }
+    }
+
+    /// Meters one one-sided read of `bytes`, unless the target primary is
+    /// this machine (local bypass: a plain memory access, no network).
+    fn meter_read(&self, local: bool, bytes: usize) {
+        if local {
+            EngineStats::bump(&self.engine.stats.read_local_bypass);
+        } else {
+            self.engine.meter.read(bytes);
         }
     }
 
@@ -200,10 +373,11 @@ impl Transaction {
             return Err(self.execution_abort(AbortReason::EagerValidation(addr)));
         }
         EngineStats::bump(&self.engine.stats.old_version_reads);
+        let local = primary == self.engine.id();
         let store = self.engine.cluster().node(primary).old_versions();
         let mut cursor = ovp;
         while let Some(old_addr) = cursor {
-            self.engine.meter.read(64);
+            self.meter_read(local, 64);
             match store.resolve(old_addr) {
                 None => {
                     return Err(self.execution_abort(AbortReason::OldVersionUnavailable(addr)));

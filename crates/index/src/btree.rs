@@ -67,6 +67,37 @@ impl BTree {
             .map(|(_, v)| v))
     }
 
+    /// Looks up many keys within `tx` using one batched read
+    /// ([`Transaction::read_many`]): all resolved leaves are fetched with one
+    /// message per destination primary instead of one per key. Results are
+    /// returned in input order; keys absent from the directory yield `None`.
+    pub fn get_many(
+        &self,
+        tx: &mut Transaction,
+        keys: &[u64],
+    ) -> Result<Vec<Option<Vec<u8>>>, TxError> {
+        let leaves: Vec<Option<Addr>> = {
+            let dir = self.directory.read();
+            keys.iter().map(|k| dir.get(k).copied()).collect()
+        };
+        let targets: Vec<Addr> = leaves.iter().filter_map(|l| *l).collect();
+        let mut pages = tx.read_many(&targets)?.into_iter();
+        let mut out = Vec::with_capacity(keys.len());
+        for (key, leaf) in keys.iter().zip(&leaves) {
+            out.push(match leaf {
+                None => None,
+                Some(_) => {
+                    let data = pages.next().expect("one page per resolved leaf");
+                    decode_entries(&data)
+                        .into_iter()
+                        .find(|(k, _)| k.as_slice() == key.to_be_bytes())
+                        .map(|(_, v)| v)
+                }
+            });
+        }
+        Ok(out)
+    }
+
     /// Inserts or updates `key` within `tx`.
     pub fn put(&self, tx: &mut Transaction, key: u64, value: &[u8]) -> Result<(), TxError> {
         let encoded = encode_entries(&[(key.to_be_bytes().to_vec(), value.to_vec())]);
@@ -118,9 +149,12 @@ impl BTree {
                 .map(|(k, a)| (*k, *a))
                 .collect()
         };
+        // One batched read for the whole scan window: leaves are grouped by
+        // destination primary and fetched with one message per machine.
+        let leaves: Vec<Addr> = targets.iter().map(|&(_, a)| a).collect();
+        let pages = tx.read_many(&leaves)?;
         let mut out = Vec::with_capacity(targets.len());
-        for (key, leaf) in targets {
-            let data = tx.read(leaf)?;
+        for ((key, _leaf), data) in targets.into_iter().zip(pages) {
             if let Some((_, v)) = decode_entries(&data)
                 .into_iter()
                 .find(|(k, _)| k.as_slice() == key.to_be_bytes())
@@ -236,6 +270,39 @@ mod tests {
             err.is_retryable(),
             "single-version scan over updated keys must abort: {err:?}"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn get_many_returns_hits_and_misses_in_input_order() {
+        let (engine, tree) = setup(EngineConfig::default());
+        let node = engine.node(NodeId(0));
+        let mut tx = node.begin();
+        for k in 0..10u64 {
+            tree.put(&mut tx, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = node.begin();
+        let got = tree.get_many(&mut tx, &[7, 99, 0, 3, 42]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Some(b"v7".to_vec()),
+                None,
+                Some(b"v0".to_vec()),
+                Some(b"v3".to_vec()),
+                None,
+            ]
+        );
+        // Batched and single-key lookups agree.
+        for k in 0..10u64 {
+            assert_eq!(
+                tree.get_many(&mut tx, &[k]).unwrap()[0],
+                tree.get(&mut tx, k).unwrap()
+            );
+        }
+        tx.commit().unwrap();
         engine.shutdown();
     }
 

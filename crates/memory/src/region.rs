@@ -12,7 +12,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::addr::{Addr, RegionId};
-use crate::object::{LockOutcome, ObjectSlot};
+use crate::object::{ConsistentRead, LockOutcome, ObjectSlot};
 use crate::size_class_for;
 use crate::slab::Slab;
 
@@ -247,6 +247,35 @@ impl Region {
             return Err(BatchLockFailure { addr, outcome });
         }
         Ok(acquired)
+    }
+
+    /// Snapshots many slots in one pass — the primary-side half of a
+    /// **doorbell-batched read**: the coordinator sends one read message
+    /// naming every requested slot in this region and the primary (or its
+    /// NIC, for true one-sided reads) walks its slab table once, returning one
+    /// [`ConsistentRead`] per address in input order.
+    ///
+    /// Per-slot outcomes are independent: a locked or tombstoned slot does
+    /// not poison the rest of the batch — the caller applies its per-slot
+    /// fallback (retry, old-version chain walk, abort) to exactly the slots
+    /// that need it. Addresses that do not resolve to an existing slab/slot
+    /// report [`ConsistentRead::NotAllocated`].
+    pub fn read_consistent_batch(&self, addrs: &[Addr]) -> Vec<ConsistentRead> {
+        // One traversal: resolve every slab under a single read-lock
+        // acquisition, then snapshot the slots without re-entering the map.
+        let slabs = self.slabs.read();
+        addrs
+            .iter()
+            .map(|addr| {
+                match slabs
+                    .get(addr.slab as usize)
+                    .and_then(|slab| slab.slot(addr.slot).ok())
+                {
+                    Some(slot) => slot.read_consistent(),
+                    None => ConsistentRead::NotAllocated,
+                }
+            })
+            .collect()
     }
 
     /// Records that the slot at `addr` was tombstoned by a free committing at
@@ -528,6 +557,72 @@ mod tests {
         let (_, free_after) = r.occupancy();
         assert_eq!(free_after, free_before + 1);
         assert!(!r.slot(a).unwrap().header_snapshot().allocated);
+    }
+
+    #[test]
+    fn batch_read_snapshots_many_slots_in_input_order() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let addrs: Vec<Addr> = (0..4).map(|_| r.allocate(64).unwrap()).collect();
+        for (i, a) in addrs.iter().enumerate() {
+            r.slot(*a)
+                .unwrap()
+                .initialize(10 + i as u64, Bytes::from(vec![i as u8; 4]));
+        }
+        // Reversed input order must be preserved in the output.
+        let reversed: Vec<Addr> = addrs.iter().rev().copied().collect();
+        let results = r.read_consistent_batch(&reversed);
+        assert_eq!(results.len(), 4);
+        for (i, res) in results.iter().enumerate() {
+            let expect = 3 - i;
+            match res {
+                ConsistentRead::Value { ts, data, .. } => {
+                    assert_eq!(*ts, 10 + expect as u64);
+                    assert_eq!(&data[..], vec![expect as u8; 4].as_slice());
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_read_reports_per_slot_locked_tombstone_and_missing() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let ok = r.allocate(64).unwrap();
+        let locked = r.allocate(64).unwrap();
+        let tombed = r.allocate(64).unwrap();
+        r.slot(ok).unwrap().initialize(1, Bytes::from_static(b"ok"));
+        r.slot(locked)
+            .unwrap()
+            .initialize(2, Bytes::from_static(b"lk"));
+        assert_eq!(
+            r.slot(locked).unwrap().try_lock_at(2),
+            LockOutcome::Acquired
+        );
+        r.slot(tombed)
+            .unwrap()
+            .initialize(3, Bytes::from_static(b"tb"));
+        assert_eq!(
+            r.slot(tombed).unwrap().try_lock_at(3),
+            LockOutcome::Acquired
+        );
+        r.slot(tombed)
+            .unwrap()
+            .install_tombstone_and_unlock(9, None);
+        let missing = Addr {
+            region: RegionId(1),
+            slab: 42,
+            slot: 0,
+        };
+        // One batch mixing every per-slot outcome: the batch itself succeeds
+        // and each slot reports independently.
+        let results = r.read_consistent_batch(&[ok, locked, tombed, missing]);
+        assert!(matches!(results[0], ConsistentRead::Value { ts: 1, .. }));
+        assert_eq!(results[1], ConsistentRead::Locked);
+        assert!(matches!(
+            results[2],
+            ConsistentRead::Tombstone { ts: 9, .. }
+        ));
+        assert_eq!(results[3], ConsistentRead::NotAllocated);
     }
 
     #[test]

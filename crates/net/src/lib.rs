@@ -112,8 +112,11 @@ impl OneSidedMeter {
     }
 
     /// Accounts for **one** one-sided RDMA read message carrying `ops`
-    /// logical reads and `bytes` total payload. Latency is injected once —
-    /// that is the point of batching.
+    /// logical reads and `bytes` total payload — a *doorbell-batched* read:
+    /// the NIC is rung once for a chain of read work requests, so latency is
+    /// injected once however many objects the batch carries. This is the
+    /// verb behind `Transaction::read_many` (one batch per destination
+    /// primary) and the commit driver's batched VALIDATE phase.
     #[inline]
     pub fn read_batch(&self, ops: u64, bytes: usize) {
         self.stats.record_batch(Verb::RdmaRead, ops, bytes);

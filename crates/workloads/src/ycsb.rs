@@ -25,6 +25,10 @@ pub struct YcsbConfig {
     /// Length of range scans issued by the scan/update mix (Figure 15);
     /// 0 disables scans.
     pub scan_length: usize,
+    /// When > 1, read operations fetch this many independently-sampled keys
+    /// in one transaction via the batched `read_many` path (multi-key
+    /// lookups). 0 or 1 keeps single-key reads.
+    pub multiget_size: usize,
 }
 
 impl Default for YcsbConfig {
@@ -35,6 +39,7 @@ impl Default for YcsbConfig {
             read_fraction: 0.5,
             zipf_theta: 0.0,
             scan_length: 0,
+            multiget_size: 0,
         }
     }
 }
@@ -44,6 +49,8 @@ impl Default for YcsbConfig {
 pub enum YcsbOp {
     /// Read one key.
     Read(u64),
+    /// Read many keys in one transaction via the batched read path.
+    MultiRead(Vec<u64>),
     /// Update one key with a fresh value.
     Update(u64),
     /// Scan `len` keys starting at `start`.
@@ -129,11 +136,16 @@ impl YcsbDatabase {
             }
             return YcsbOp::Update(rng.gen_range(0..self.config.keys));
         }
-        let key = self.zipf.sample(rng);
         if rng.gen::<f64>() < self.config.read_fraction {
-            YcsbOp::Read(key)
+            if self.config.multiget_size > 1 {
+                let keys = (0..self.config.multiget_size)
+                    .map(|_| self.zipf.sample(rng))
+                    .collect();
+                return YcsbOp::MultiRead(keys);
+            }
+            YcsbOp::Read(self.zipf.sample(rng))
         } else {
-            YcsbOp::Update(key)
+            YcsbOp::Update(self.zipf.sample(rng))
         }
     }
 
@@ -148,6 +160,12 @@ impl YcsbDatabase {
                 let _ = self.tree.get(&mut tx, *key)?;
                 tx.commit()?;
                 Ok(1)
+            }
+            YcsbOp::MultiRead(keys) => {
+                let mut tx = engine_node.begin_with(opts);
+                let hits = self.tree.get_many(&mut tx, keys)?;
+                tx.commit()?;
+                Ok(hits.iter().filter(|v| v.is_some()).count())
             }
             YcsbOp::Update(key) => {
                 let mut tx = engine_node.begin_with(opts);
@@ -190,6 +208,7 @@ mod tests {
                 read_fraction: 0.5,
                 zipf_theta: theta,
                 scan_length,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -225,7 +244,9 @@ mod tests {
                     scans += 1;
                 }
                 YcsbOp::Update(_) => updates += 1,
-                YcsbOp::Read(_) => panic!("no plain reads in the scan mix"),
+                YcsbOp::Read(_) | YcsbOp::MultiRead(_) => {
+                    panic!("no plain reads in the scan mix")
+                }
             }
         }
         assert!(scans > 10, "scans: {scans}");
@@ -244,6 +265,33 @@ mod tests {
         assert_eq!(got, 10);
         db.execute(NodeId(0), &YcsbOp::Update(5), TxOptions::serializable())
             .unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multiget_mix_generates_and_executes_batched_reads() {
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        let db = YcsbDatabase::load(
+            &engine,
+            YcsbConfig {
+                keys: 200,
+                value_size: 32,
+                read_fraction: 1.0,
+                multiget_size: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let op = db.next_op(&mut rng);
+        let YcsbOp::MultiRead(keys) = &op else {
+            panic!("expected a MultiRead, got {op:?}");
+        };
+        assert_eq!(keys.len(), 8);
+        let touched = db
+            .execute(NodeId(1), &op, TxOptions::serializable())
+            .unwrap();
+        assert_eq!(touched, 8, "all sampled keys exist and are returned");
         engine.shutdown();
     }
 
