@@ -280,8 +280,11 @@ impl CommitDriver {
 
     /// Allocates an old version at `primary`, applying the configured policy
     /// when old-version memory is exhausted. The coordinator thread performs
-    /// the allocation directly on the primary's store, standing in for the
-    /// primary thread that processes the LOCK batch.
+    /// the allocation directly on the primary's store through the store's
+    /// per-thread cursor shard, standing in for the primary thread that
+    /// processes the LOCK batch — so concurrent LOCK batches (to different
+    /// primaries, or from different threads to the same primary) never
+    /// contend on any coordinator-global lock.
     fn allocate_old_version(
         &self,
         primary: NodeId,
@@ -292,16 +295,16 @@ impl CommitDriver {
         let store = Arc::clone(self.engine.cluster().node(primary).old_versions());
         let mut attempt = 0;
         loop {
-            // The allocator map lock is scoped to one allocation attempt:
-            // a writer blocked on old-version memory (MV-BLOCK) must not
-            // stall every other committer on this node while it sleeps.
-            let allocated = {
-                let mut allocators = self.engine.old_alloc.lock();
-                let allocator = allocators
-                    .entry(primary)
-                    .or_insert_with(|| farm_memory::ThreadOldAllocator::new(Arc::clone(&store)));
-                allocator.allocate(old.clone())
-            };
+            let allocated = store.allocate_local(old.clone()).or_else(|_| {
+                // Memory pressure: idle per-thread cursors pin partially
+                // filled blocks as uncollectable, so seal them all, reclaim
+                // below the safe point, and retry once before invoking the
+                // policy (a store with many quiet threads would otherwise
+                // report exhaustion while holding mostly-empty blocks).
+                store.detach_cursors();
+                store.collect(self.engine.cluster().node(primary).gc_safe_point());
+                store.allocate_local(old.clone())
+            });
             match allocated {
                 Ok(addr) => return Ok(addr),
                 Err(_) => match policy {
@@ -316,11 +319,9 @@ impl CommitDriver {
                         if attempt > MAX_BLOCK_RETRIES {
                             return Err(AbortReason::OldVersionMemoryExhausted);
                         }
-                        // Try to make progress: reclaim anything below the
-                        // current GC safe point (re-read every retry — the
-                        // point advances while we wait), then back off.
-                        let gc_point = self.engine.cluster().node(primary).gc_safe_point();
-                        store.collect(gc_point);
+                        // Back off and loop: the safe point advances while
+                        // we wait, so the pre-retry reclamation above frees
+                        // more each time around.
                         std::thread::sleep(std::time::Duration::from_micros(100));
                     }
                 },
@@ -644,7 +645,7 @@ impl CommitDriver {
             // cluster keeps this symmetric even though only the local engine
             // handle is reachable from here.
             if target == self.engine.id() {
-                self.engine.op_log.lock().push(record.clone());
+                self.engine.append_op_log(record.clone());
             }
         }
     }

@@ -1,16 +1,17 @@
 //! Engine assembly: the cluster-wide [`Engine`] and per-machine
 //! [`NodeEngine`] handles.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use farm_kernel::{Cluster, NodeHandle, RecoveryHooks};
-use farm_memory::{Addr, Region, RegionId, ThreadOldAllocator};
+use farm_memory::{Addr, Region, RegionId};
 use farm_net::{LatencyModel, NodeId, OneSidedMeter};
 use parking_lot::Mutex;
 
+use crate::active::{ActiveToken, ActiveTxTable};
 use crate::error::{AbortReason, TxError};
 use crate::opts::{EngineConfig, TxOptions};
 use crate::stats::{EngineStats, EngineStatsSnapshot};
@@ -28,10 +29,6 @@ pub struct OpLogRecord {
     pub writes: Vec<Addr>,
 }
 
-/// The shared map of active transactions on one node: serial → read
-/// timestamp. The minimum read timestamp feeds the OAT computation.
-pub(crate) type ActiveMap = Arc<Mutex<BTreeMap<u64, u64>>>;
-
 /// The per-machine transaction engine. Application threads whose home is this
 /// machine obtain transactions here; the thread then acts as the coordinator
 /// for the distributed commit, exactly as in FaRM's symmetric model.
@@ -41,42 +38,45 @@ pub struct NodeEngine {
     handle: Arc<NodeHandle>,
     config: EngineConfig,
     pub(crate) meter: OneSidedMeter,
-    /// One old-version allocator per primary this coordinator has written
-    /// through (stands in for the primary-side thread that allocates old
-    /// versions while processing LOCK messages).
-    pub(crate) old_alloc: Mutex<HashMap<NodeId, ThreadOldAllocator>>,
-    pub(crate) active: ActiveMap,
+    /// Active local transactions: a sharded atomic slot table. `begin` and
+    /// `finish` are one atomic operation each, and the OAT provider is a
+    /// wait-free minimum scan — no node-global lock on the per-op path.
+    pub(crate) active: Arc<ActiveTxTable>,
     next_serial: AtomicU64,
     pub(crate) stats: EngineStats,
     /// Operation log kept at this node when operation logging is enabled
-    /// (this node acting as a log replica).
-    pub(crate) op_log: Mutex<Vec<OpLogRecord>>,
+    /// (this node acting as a log replica): a bounded ring of the most
+    /// recent [`EngineConfig::op_log_capacity`] records.
+    op_log: Mutex<VecDeque<OpLogRecord>>,
+    /// Records currently held in `op_log`, maintained alongside it so
+    /// [`NodeEngine::op_log_len`] is an O(1) atomic load.
+    op_log_len: AtomicUsize,
+    /// Records ever appended to `op_log` (monotone; not capped by the ring).
+    op_log_appended: AtomicU64,
     alive: AtomicBool,
 }
 
 impl NodeEngine {
     fn new(cluster: Arc<Cluster>, id: NodeId, config: EngineConfig) -> Arc<Self> {
         let handle = Arc::clone(cluster.node(id));
-        let active: ActiveMap = Arc::new(Mutex::new(BTreeMap::new()));
+        let active = Arc::new(ActiveTxTable::new());
         // Register the OAT provider: the oldest active local transaction's
-        // read timestamp (Figure 9).
+        // read timestamp (Figure 9), computed by a wait-free slot scan.
         let active_for_oat = Arc::clone(&active);
-        handle.set_oat_provider(Arc::new(move || {
-            active_for_oat.lock().values().min().copied()
-        }));
+        handle.set_oat_provider(Arc::new(move || active_for_oat.oat()));
         let meter = OneSidedMeter::new(Arc::clone(handle.stats()), LatencyModel::zero());
-        let old_alloc = Mutex::new(HashMap::new());
         Arc::new(NodeEngine {
             id,
             cluster,
             handle,
             config,
             meter,
-            old_alloc,
             active,
             next_serial: AtomicU64::new(1),
             stats: EngineStats::default(),
-            op_log: Mutex::new(Vec::new()),
+            op_log: Mutex::new(VecDeque::new()),
+            op_log_len: AtomicUsize::new(0),
+            op_log_appended: AtomicU64::new(0),
             alive: AtomicBool::new(true),
         })
     }
@@ -106,10 +106,29 @@ impl NodeEngine {
         self.stats.snapshot()
     }
 
-    /// Number of operation-log records stored at this node (operation-logging
-    /// mode only).
+    /// Number of operation-log records currently stored at this node
+    /// (operation-logging mode only). O(1): an atomic load, no lock.
     pub fn op_log_len(&self) -> usize {
-        self.op_log.lock().len()
+        self.op_log_len.load(Ordering::Acquire)
+    }
+
+    /// Total operation-log records ever appended at this node, including
+    /// those the bounded ring has since evicted.
+    pub fn op_log_appended(&self) -> u64 {
+        self.op_log_appended.load(Ordering::Acquire)
+    }
+
+    /// Appends one record to this node's operation log, evicting the oldest
+    /// record once the configured ring capacity is reached (so long
+    /// operation-logging runs do not grow memory unboundedly).
+    pub(crate) fn append_op_log(&self, record: OpLogRecord) {
+        let mut log = self.op_log.lock();
+        log.push_back(record);
+        if log.len() > self.config.op_log_capacity.max(1) {
+            log.pop_front();
+        }
+        self.op_log_len.store(log.len(), Ordering::Release);
+        self.op_log_appended.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether this node is still alive (not killed by fault injection).
@@ -158,12 +177,27 @@ impl NodeEngine {
         self.next_serial.fetch_add(1, Ordering::Relaxed)
     }
 
-    pub(crate) fn register_active(&self, serial: u64, read_ts: u64) {
-        self.active.lock().insert(serial, read_ts);
+    /// Publishes an active transaction (one uncontended CAS into the
+    /// caller's home shard of the slot table). The returned token withdraws
+    /// the registration; `serial` only keys the overflow spillover.
+    pub(crate) fn register_active(&self, serial: u64, read_ts: u64) -> ActiveToken {
+        self.active.register(serial, read_ts)
     }
 
-    pub(crate) fn unregister_active(&self, serial: u64) {
-        self.active.lock().remove(&serial);
+    /// Raises a registration's timestamp from its conservative placeholder
+    /// to the transaction's acquired read timestamp (one atomic store).
+    pub(crate) fn update_active(&self, token: ActiveToken, read_ts: u64) {
+        self.active.update(token, read_ts);
+    }
+
+    /// Withdraws an active-transaction registration (one atomic store).
+    pub(crate) fn unregister_active(&self, token: ActiveToken) {
+        self.active.unregister(token);
+    }
+
+    /// Number of currently registered active transactions (tests/reporting).
+    pub fn active_transactions(&self) -> usize {
+        self.active.len()
     }
 
     /// Resolves the primary replica of the region holding `addr`, along with
@@ -352,6 +386,36 @@ mod tests {
         let stats = engine.aggregate_stats();
         assert_eq!(stats.commits(), 0);
         assert!(engine.node(NodeId(1)).home_region().is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn op_log_is_a_bounded_ring_with_o1_len() {
+        let config = EngineConfig {
+            operation_logging: true,
+            op_log_capacity: 4,
+            ..EngineConfig::multi_version()
+        };
+        let engine = Engine::start_cluster(ClusterConfig::test(3), config);
+        let node = engine.node(NodeId(0));
+        let region = node.home_region().unwrap();
+        let mut tx = node.begin();
+        let addr = tx.alloc_in(region, vec![0u8; 8]).unwrap();
+        tx.commit().unwrap();
+        // Commit more read-write transactions than the ring holds.
+        for i in 0..32u8 {
+            let mut tx = node.begin();
+            tx.write(addr, vec![i; 8]).unwrap();
+            tx.commit().unwrap();
+        }
+        let stored: usize = engine.nodes().iter().map(|n| n.op_log_len()).sum();
+        let appended: u64 = engine.nodes().iter().map(|n| n.op_log_appended()).sum();
+        assert!(appended >= 33, "replicated op-log appends happened");
+        assert!(
+            stored <= 3 * 4,
+            "ring capacity 4 per node exceeded: {stored} records stored"
+        );
+        assert!(stored > 0);
         engine.shutdown();
     }
 

@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod active;
 pub mod commit;
 pub mod engine;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod readonly;
 pub mod stats;
 pub mod tx;
 
+pub use active::{ActiveToken, ActiveTxTable};
 pub use commit::{CommitDriver, CommitPhase};
 pub use engine::{Engine, NodeEngine};
 pub use error::{AbortReason, TxError};

@@ -91,6 +91,10 @@ pub struct EngineConfig {
     /// How many times a read retries when it observes a locked head version
     /// before aborting.
     pub read_lock_retries: u32,
+    /// Maximum operation-log records retained per node in operation-logging
+    /// mode; the log is a ring that evicts its oldest record beyond this, so
+    /// long runs do not grow memory unboundedly.
+    pub op_log_capacity: usize,
     /// Interval of the background old-version garbage collector.
     pub gc_interval: std::time::Duration,
     /// DELIBERATELY INCORRECT (Section 7.3): skip the uncertainty wait when
@@ -105,6 +109,7 @@ impl Default for EngineConfig {
             mode: EngineMode::farmv2_single_version(),
             operation_logging: false,
             read_lock_retries: 100,
+            op_log_capacity: 65_536,
             gc_interval: std::time::Duration::from_millis(2),
             unsafe_skip_write_wait: false,
         }

@@ -42,10 +42,11 @@ pub struct ParallelQuery {
     engine: Arc<Engine>,
     master_node: NodeId,
     read_ts: u64,
-    /// Unique registration key pinning the snapshot on the master node until
-    /// `finish`. Drawn from the master engine's transaction serial counter,
-    /// so two queries never collide even at an identical read timestamp.
-    pin_serial: u64,
+    /// Registration pinning the snapshot on the master node until `finish`.
+    /// Keyed by a fresh serial drawn from the master engine's transaction
+    /// counter, so two queries never collide even at an identical read
+    /// timestamp.
+    pin: crate::active::ActiveToken,
 }
 
 impl ParallelQuery {
@@ -63,13 +64,13 @@ impl ParallelQuery {
         // the timestamp — so concurrent queries at the same snapshot do not
         // share (and prematurely release) one registration.
         let pin_serial = master.next_serial();
-        master.register_active(pin_serial, read_ts);
+        let pin = master.register_active(pin_serial, read_ts);
         drop(tx);
         ParallelQuery {
             engine: Arc::clone(engine),
             master_node,
             read_ts,
-            pin_serial,
+            pin,
         }
     }
 
@@ -139,11 +140,18 @@ impl ParallelQuery {
     }
 
     /// Completes the query, releasing the snapshot so garbage collection can
-    /// advance past it.
+    /// advance past it. (Dropping the query releases it too — an error path
+    /// that propagates out with `?` must not pin the node's OAT forever.)
     pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ParallelQuery {
+    fn drop(&mut self) {
         self.engine
             .node(self.master_node)
-            .unregister_active(self.pin_serial);
+            .unregister_active(self.pin);
     }
 }
 
@@ -233,6 +241,22 @@ mod tests {
     }
 
     #[test]
+    fn dropping_a_query_releases_its_pin() {
+        // An error path that drops the query without calling finish() (e.g.
+        // `let v = q.map_nodes(..)?;` propagating a slave failure) must not
+        // leave the snapshot pinned — a leaked pin would hold the node's OAT
+        // forever and stall GC cluster-wide.
+        let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
+        let node0 = engine.node(NodeId(0));
+        let before = node0.active_transactions();
+        let query = ParallelQuery::start(&engine, NodeId(0));
+        assert_eq!(node0.active_transactions(), before + 1);
+        drop(query);
+        assert_eq!(node0.active_transactions(), before);
+        engine.shutdown();
+    }
+
+    #[test]
     fn concurrent_queries_pin_and_release_snapshots_independently() {
         let engine = Engine::start_cluster(ClusterConfig::test(3), EngineConfig::multi_version());
         let node0 = engine.node(NodeId(0));
@@ -240,7 +264,7 @@ mod tests {
         let addr = tx.alloc(vec![1u8; 8]).unwrap();
         tx.commit().unwrap();
 
-        let active_registrations = || node0.active.lock().len();
+        let active_registrations = || node0.active_transactions();
         let before = active_registrations();
         let q1 = ParallelQuery::start(&engine, NodeId(0));
         let q2 = ParallelQuery::start(&engine, NodeId(0));

@@ -74,6 +74,9 @@ pub struct CommitInfo {
 pub struct Transaction {
     engine: Arc<NodeEngine>,
     serial: u64,
+    /// Registration in the engine's active-transaction slot table; withdrawn
+    /// (one atomic store) exactly once, in `finish`.
+    active: crate::active::ActiveToken,
     opts: TxOptions,
     /// The snapshot this transaction reads at (FaRMv2 modes). Irrelevant in
     /// baseline mode, which has no read snapshots.
@@ -99,21 +102,38 @@ impl Transaction {
         // Acquire the read timestamp. Strict transactions use GET_TS (upper
         // bound + uncertainty wait); non-strict ones take the lower bound
         // with no wait. The baseline has no read timestamps at all.
-        let read_ts = if baseline {
-            0
+        //
+        // Registration happens in two wait-free steps: publish a
+        // conservative placeholder (the clock's current lower bound, which
+        // can only be ≤ the timestamp GET_TS returns) *before* acquiring the
+        // timestamp, then raise the slot to the actual value. A concurrent
+        // OAT scan interleaving with `begin` therefore sees at worst a
+        // too-small timestamp — it can never advance the GC watermarks past
+        // a snapshot that is about to become live.
+        let (read_ts, active) = if baseline {
+            (0, engine.register_active(serial, u64::MAX))
         } else {
+            let placeholder = engine
+                .handle()
+                .clock()
+                .time_unchecked()
+                .map(|i| i.lower)
+                .unwrap_or(0);
+            let active = engine.register_active(serial, placeholder);
             let mode = if opts.strict {
                 TsMode::StrictWait
             } else {
                 TsMode::NonStrictRead
             };
             let (ts, _waited) = engine.handle().clock().get_ts(mode);
-            ts.as_nanos()
+            let read_ts = ts.as_nanos();
+            engine.update_active(active, read_ts);
+            (read_ts, active)
         };
-        engine.register_active(serial, if baseline { u64::MAX } else { read_ts });
         Transaction {
             engine,
             serial,
+            active,
             opts,
             read_ts,
             stale_readonly: false,
@@ -127,10 +147,11 @@ impl Transaction {
 
     pub(crate) fn start_stale(engine: Arc<NodeEngine>, read_ts: u64) -> Transaction {
         let serial = engine.next_serial();
-        engine.register_active(serial, read_ts);
+        let active = engine.register_active(serial, read_ts);
         Transaction {
             engine,
             serial,
+            active,
             opts: TxOptions::serializable(),
             read_ts,
             stale_readonly: true,
@@ -566,7 +587,7 @@ impl Transaction {
     fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
-            self.engine.unregister_active(self.serial);
+            self.engine.unregister_active(self.active);
         }
     }
 }
@@ -574,7 +595,7 @@ impl Transaction {
 impl Drop for Transaction {
     fn drop(&mut self) {
         if !self.finished {
-            self.engine.unregister_active(self.serial);
+            self.engine.unregister_active(self.active);
             self.rollback_allocations();
             self.finished = true;
         }

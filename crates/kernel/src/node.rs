@@ -3,10 +3,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use arc_swap::ArcSwap;
 use farm_clock::NodeClock;
 use farm_memory::{OldVersionStore, RegionStore};
 use farm_net::{NetStats, NodeId};
-use parking_lot::RwLock;
 
 /// The role a node plays in the current configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +31,9 @@ pub struct NodeHandle {
     regions: Arc<RegionStore>,
     old_versions: Arc<OldVersionStore>,
     stats: Arc<NetStats>,
-    oat_provider: RwLock<Option<OatProvider>>,
+    /// Swapped once at engine start (and by tests); read on every control
+    /// round, so lookups are a wait-free snapshot load rather than a lock.
+    oat_provider: ArcSwap<Option<OatProvider>>,
     /// `GC_local` (Figure 9): the last `OAT_CM` received; stale-snapshot slave
     /// transactions with read timestamps below this are rejected.
     gc_local: AtomicU64,
@@ -56,7 +58,7 @@ impl NodeHandle {
             regions,
             old_versions,
             stats,
-            oat_provider: RwLock::new(None),
+            oat_provider: ArcSwap::from_pointee(None),
             gc_local: AtomicU64::new(0),
             gc_global: AtomicU64::new(0),
             alive: AtomicBool::new(true),
@@ -90,14 +92,14 @@ impl NodeHandle {
 
     /// Registers the transaction engine's OAT provider.
     pub fn set_oat_provider(&self, provider: OatProvider) {
-        *self.oat_provider.write() = Some(provider);
+        self.oat_provider.store(Arc::new(Some(provider)));
     }
 
     /// `OAT_local`: the minimum of the current interval's lower bound and the
     /// read timestamp of the oldest active local transaction.
     pub fn oat_local(&self) -> u64 {
         let lower = self.clock.time_unchecked().map(|i| i.lower).unwrap_or(0);
-        let oldest_tx = self.oat_provider.read().as_ref().and_then(|p| p());
+        let oldest_tx = self.oat_provider.load().as_ref().and_then(|p| p());
         match oldest_tx {
             Some(ts) => lower.min(ts),
             None => lower,

@@ -55,6 +55,27 @@ pub use slab::{Slab, SlabError};
 /// to the nearest class; the paper's minimum object size is 64 bytes.
 pub const SIZE_CLASSES: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
+/// A stable dense ordinal for the calling thread, assigned round-robin on
+/// first use. Shared by every sharded per-thread structure in the workspace
+/// (old-version allocation cursors, the engine's active-transaction slot
+/// table): take `thread_ordinal() % shards` to pick a home shard, so a
+/// thread lands on related shards across structures and the assignment logic
+/// lives in exactly one place.
+pub fn thread_ordinal() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    ORDINAL.with(|o| {
+        if o.get() == usize::MAX {
+            o.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        o.get()
+    })
+}
+
 /// Rounds a requested object size up to its size class.
 ///
 /// Returns `None` if the size exceeds the largest class.

@@ -9,7 +9,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use arc_swap::ArcSwap;
+use parking_lot::Mutex;
 
 use crate::addr::{Addr, RegionId};
 use crate::object::{ConsistentRead, LockOutcome, ObjectSlot};
@@ -84,15 +85,30 @@ pub struct BatchLockFailure {
     pub outcome: LockOutcome,
 }
 
+/// Number of tombstone shards per region. Commit-time tombstoning locks only
+/// the shard of the freed slot's slab, so concurrent frees to different slabs
+/// and the GC sweep (which visits shards one at a time) do not serialize.
+const TOMBSTONE_SHARDS: usize = 16;
+
 /// One replica of a region: a set of slabs.
+///
+/// The slab table is an **append-only snapshot index**: readers traverse the
+/// current snapshot with one wait-free atomic load ([`ArcSwap::load`]) and no
+/// lock, so `read_consistent_batch`, `try_lock_batch` and GC sweeps never
+/// contend with each other. Slab creation (rare — bounded by
+/// [`RegionConfig::max_slabs`] over the region's lifetime) copies the table,
+/// appends, and publishes the new snapshot under the `grow` mutex.
 pub struct Region {
     id: RegionId,
     config: RegionConfig,
-    slabs: RwLock<Vec<Arc<Slab>>>,
-    /// Tombstoned slots awaiting reclamation: `(addr, free timestamp)`.
-    /// Populated by multi-version frees, drained by the GC sweep once the
-    /// safe point passes the free timestamp.
-    tombstones: Mutex<Vec<(Addr, u64)>>,
+    slabs: ArcSwap<Vec<Arc<Slab>>>,
+    /// Serializes snapshot replacement (slab creation); never taken on the
+    /// read/lock/sweep paths.
+    grow: Mutex<()>,
+    /// Tombstoned slots awaiting reclamation: `(addr, free timestamp)`,
+    /// sharded by slab index. Populated by multi-version frees, drained by
+    /// the GC sweep once the safe point passes the free timestamp.
+    tombstones: Vec<Mutex<Vec<(Addr, u64)>>>,
 }
 
 impl Region {
@@ -101,8 +117,11 @@ impl Region {
         Region {
             id,
             config,
-            slabs: RwLock::new(Vec::new()),
-            tombstones: Mutex::new(Vec::new()),
+            slabs: ArcSwap::from_pointee(Vec::new()),
+            grow: Mutex::new(()),
+            tombstones: (0..TOMBSTONE_SHARDS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 
@@ -111,14 +130,20 @@ impl Region {
         self.id
     }
 
+    /// The tombstone shard responsible for `addr` (keyed by slab index, the
+    /// same granularity at which commits and sweeps actually conflict).
+    fn tombstone_shard(&self, addr: Addr) -> &Mutex<Vec<(Addr, u64)>> {
+        &self.tombstones[addr.slab as usize % TOMBSTONE_SHARDS]
+    }
+
     /// Number of slabs currently carved out of the region.
     pub fn slab_count(&self) -> usize {
-        self.slabs.read().len()
+        self.slabs.load().len()
     }
 
     /// Returns the slab at `index`, if it exists.
     pub fn slab(&self, index: u16) -> Option<Arc<Slab>> {
-        self.slabs.read().get(index as usize).cloned()
+        self.slabs.load().get(index as usize).cloned()
     }
 
     /// Allocates a slot for an object of `size` bytes, creating a new slab of
@@ -129,44 +154,28 @@ impl Region {
     /// readers only when the transaction commits and initializes the header.
     pub fn allocate(&self, size: usize) -> Result<Addr, RegionError> {
         let class = size_class_for(size).ok_or(RegionError::ObjectTooLarge(size))?;
-        // Fast path: find an existing slab of this class with space.
-        {
-            let slabs = self.slabs.read();
-            for (i, slab) in slabs.iter().enumerate() {
-                if slab.object_size() == class {
-                    if let Ok(slot) = slab.allocate() {
-                        return Ok(Addr {
-                            region: self.id,
-                            slab: i as u16,
-                            slot,
-                        });
-                    }
-                }
-            }
+        // Fast path: find an existing slab of this class with space — a
+        // wait-free snapshot traversal, no lock.
+        if let Some(addr) = self.allocate_in_snapshot(self.slabs.load(), class) {
+            return Ok(addr);
         }
-        // Slow path: create a new slab.
-        let mut slabs = self.slabs.write();
-        if slabs.len() >= self.config.max_slabs as usize {
-            // One more attempt in case another thread created a slab while we
-            // were waiting for the write lock.
-            for (i, slab) in slabs.iter().enumerate() {
-                if slab.object_size() == class {
-                    if let Ok(slot) = slab.allocate() {
-                        return Ok(Addr {
-                            region: self.id,
-                            slab: i as u16,
-                            slot,
-                        });
-                    }
-                }
-            }
+        // Slow path: create a new slab. The grow mutex serializes snapshot
+        // replacement; re-check under it in case another thread just grew.
+        let _grow = self.grow.lock();
+        let current = self.slabs.load();
+        if let Some(addr) = self.allocate_in_snapshot(current, class) {
+            return Ok(addr);
+        }
+        if current.len() >= self.config.max_slabs as usize {
             return Err(RegionError::OutOfMemory);
         }
         let capacity = (self.config.slab_bytes / class).max(1);
         let slab = Arc::new(Slab::new(class, capacity));
         let slot = slab.allocate().expect("fresh slab has space");
-        let index = slabs.len() as u16;
-        slabs.push(slab);
+        let index = current.len() as u16;
+        let mut next = current.clone();
+        next.push(slab);
+        self.slabs.store(Arc::new(next));
         Ok(Addr {
             region: self.id,
             slab: index,
@@ -174,22 +183,42 @@ impl Region {
         })
     }
 
+    /// One pass over a slab-table snapshot looking for a free slot of `class`.
+    fn allocate_in_snapshot(&self, slabs: &[Arc<Slab>], class: usize) -> Option<Addr> {
+        for (i, slab) in slabs.iter().enumerate() {
+            if slab.object_size() == class {
+                if let Ok(slot) = slab.allocate() {
+                    return Some(Addr {
+                        region: self.id,
+                        slab: i as u16,
+                        slot,
+                    });
+                }
+            }
+        }
+        None
+    }
+
     /// Ensures that slab `index` exists with the given size class, creating
     /// intermediate empty slabs if needed. Backups use this to mirror the
     /// primary's slab layout when applying replicated writes.
     pub fn ensure_slab(&self, index: u16, object_size: usize) -> Arc<Slab> {
-        {
-            let slabs = self.slabs.read();
-            if let Some(s) = slabs.get(index as usize) {
-                return Arc::clone(s);
-            }
+        if let Some(s) = self.slabs.load().get(index as usize) {
+            return Arc::clone(s);
         }
-        let mut slabs = self.slabs.write();
-        while slabs.len() <= index as usize {
+        let _grow = self.grow.lock();
+        let current = self.slabs.load();
+        if let Some(s) = current.get(index as usize) {
+            return Arc::clone(s);
+        }
+        let mut next = current.clone();
+        while next.len() <= index as usize {
             let capacity = (self.config.slab_bytes / object_size).max(1);
-            slabs.push(Arc::new(Slab::new(object_size, capacity)));
+            next.push(Arc::new(Slab::new(object_size, capacity)));
         }
-        Arc::clone(&slabs[index as usize])
+        let slab = Arc::clone(&next[index as usize]);
+        self.slabs.store(Arc::new(next));
+        slab
     }
 
     /// Frees the slot named by `addr` in the allocator (bitmap); the header
@@ -261,9 +290,9 @@ impl Region {
     /// that need it. Addresses that do not resolve to an existing slab/slot
     /// report [`ConsistentRead::NotAllocated`].
     pub fn read_consistent_batch(&self, addrs: &[Addr]) -> Vec<ConsistentRead> {
-        // One traversal: resolve every slab under a single read-lock
-        // acquisition, then snapshot the slots without re-entering the map.
-        let slabs = self.slabs.read();
+        // One traversal: pin the slab-table snapshot with a single wait-free
+        // load, then snapshot the slots without re-entering the index.
+        let slabs = self.slabs.load();
         addrs
             .iter()
             .map(|addr| {
@@ -282,45 +311,50 @@ impl Region {
     /// `write_ts`; the slot will be reclaimed by [`Region::sweep_tombstones`]
     /// once the GC safe point passes `write_ts`.
     pub fn note_tombstone(&self, addr: Addr, write_ts: u64) {
-        self.tombstones.lock().push((addr, write_ts));
+        self.tombstone_shard(addr).lock().push((addr, write_ts));
     }
 
     /// Reclaims tombstoned slots whose free timestamp is below `safe_point`
     /// (no snapshot can need their history anymore): clears the header and
     /// returns the slot to the allocator. Returns how many were reclaimed.
+    ///
+    /// Shards are visited one at a time, so committing transactions
+    /// tombstoning into other slabs proceed concurrently with the sweep.
     pub fn sweep_tombstones(&self, safe_point: u64) -> usize {
-        let mut pending = self.tombstones.lock();
         let mut swept = 0;
-        pending.retain(|&(addr, ts)| {
-            if ts >= safe_point {
-                return true;
-            }
-            if let Ok(slot) = self.slot(addr) {
-                slot.clear();
-            }
-            let _ = self.free(addr);
-            swept += 1;
-            false
-        });
+        for shard in &self.tombstones {
+            let mut pending = shard.lock();
+            pending.retain(|&(addr, ts)| {
+                if ts >= safe_point {
+                    return true;
+                }
+                if let Ok(slot) = self.slot(addr) {
+                    slot.clear();
+                }
+                let _ = self.free(addr);
+                swept += 1;
+                false
+            });
+        }
         swept
     }
 
     /// Number of tombstoned slots not yet reclaimed.
     pub fn pending_tombstones(&self) -> usize {
-        self.tombstones.lock().len()
+        self.tombstones.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Scans all slabs and rebuilds their free bitmaps from object headers
     /// (backup promotion, Section 4.8).
     pub fn rebuild_allocation_state(&self) {
-        for slab in self.slabs.read().iter() {
+        for slab in self.slabs.load().iter() {
             slab.rebuild_bitmap_from_headers();
         }
     }
 
     /// Total and free slot counts across all slabs (for reporting).
     pub fn occupancy(&self) -> (usize, usize) {
-        let slabs = self.slabs.read();
+        let slabs = self.slabs.load();
         let total = slabs.iter().map(|s| s.capacity()).sum();
         let free = slabs.iter().map(|s| s.free_slots()).sum();
         (total, free)
@@ -340,10 +374,22 @@ impl std::fmt::Debug for Region {
 }
 
 /// The set of region replicas hosted by one machine.
+///
+/// Every transaction resolves at least one region per operation, so the map
+/// is a copy-on-write snapshot: lookups are one wait-free load plus a
+/// lock-free `Weak::upgrade`, and the rare hosting changes (region creation,
+/// re-replication, drop) republish it under the `owned` mutex. Snapshots
+/// hold **weak** handles — strong ownership lives only in `owned` — so a
+/// dropped region's memory is freed as soon as the last in-flight user
+/// releases it, even though the `ArcSwap` shim retains replaced map
+/// snapshots until the store itself drops.
 #[derive(Default)]
 pub struct RegionStore {
     config: RegionConfig,
-    regions: RwLock<HashMap<RegionId, Arc<Region>>>,
+    regions: ArcSwap<HashMap<RegionId, std::sync::Weak<Region>>>,
+    /// Strong ownership of hosted replicas; also serializes snapshot
+    /// republishing. Never taken on the lookup path.
+    owned: Mutex<HashMap<RegionId, Arc<Region>>>,
 }
 
 impl RegionStore {
@@ -351,39 +397,62 @@ impl RegionStore {
     pub fn new(config: RegionConfig) -> Self {
         RegionStore {
             config,
-            regions: RwLock::new(HashMap::new()),
+            regions: ArcSwap::from_pointee(HashMap::new()),
+            owned: Mutex::new(HashMap::new()),
         }
     }
 
     /// Returns the replica of `id`, creating it if this machine does not host
     /// one yet (e.g. when it becomes a new backup during re-replication).
     pub fn ensure(&self, id: RegionId) -> Arc<Region> {
+        if let Some(r) = self
+            .regions
+            .load()
+            .get(&id)
+            .and_then(std::sync::Weak::upgrade)
         {
-            let map = self.regions.read();
-            if let Some(r) = map.get(&id) {
-                return Arc::clone(r);
-            }
+            return r;
         }
-        let mut map = self.regions.write();
-        Arc::clone(
-            map.entry(id)
-                .or_insert_with(|| Arc::new(Region::new(id, self.config))),
-        )
+        let mut owned = self.owned.lock();
+        if let Some(r) = owned.get(&id) {
+            return Arc::clone(r);
+        }
+        let region = Arc::new(Region::new(id, self.config));
+        owned.insert(id, Arc::clone(&region));
+        self.publish(&owned);
+        region
     }
 
     /// Returns the replica of `id`, if hosted here.
     pub fn get(&self, id: RegionId) -> Option<Arc<Region>> {
-        self.regions.read().get(&id).cloned()
+        self.regions
+            .load()
+            .get(&id)
+            .and_then(std::sync::Weak::upgrade)
     }
 
-    /// Drops the replica of `id` (the machine stops hosting the region).
+    /// Drops the replica of `id` (the machine stops hosting the region). Its
+    /// memory is freed once the last in-flight reference goes away — stale
+    /// weak handles in retained snapshots cannot resurrect it.
     pub fn drop_region(&self, id: RegionId) {
-        self.regions.write().remove(&id);
+        let mut owned = self.owned.lock();
+        owned.remove(&id);
+        self.publish(&owned);
+    }
+
+    /// Republishes the lookup snapshot from the ownership map (caller holds
+    /// the `owned` lock).
+    fn publish(&self, owned: &HashMap<RegionId, Arc<Region>>) {
+        let snapshot: HashMap<RegionId, std::sync::Weak<Region>> = owned
+            .iter()
+            .map(|(&id, region)| (id, Arc::downgrade(region)))
+            .collect();
+        self.regions.store(Arc::new(snapshot));
     }
 
     /// All region ids hosted here.
     pub fn hosted(&self) -> Vec<RegionId> {
-        let mut v: Vec<_> = self.regions.read().keys().copied().collect();
+        let mut v: Vec<_> = self.owned.lock().keys().copied().collect();
         v.sort();
         v
     }
@@ -481,6 +550,29 @@ mod tests {
         assert_eq!(store.hosted(), vec![RegionId(5)]);
         store.drop_region(RegionId(5));
         assert!(store.get(RegionId(5)).is_none());
+    }
+
+    #[test]
+    fn dropped_region_memory_is_actually_freed() {
+        // The lookup snapshots hold weak handles, so dropping a region frees
+        // its slabs as soon as the last strong reference goes — republished
+        // (retained) snapshots must not keep dead replicas alive.
+        let store = RegionStore::new(RegionConfig::small());
+        let r = store.ensure(RegionId(7));
+        r.allocate(64).unwrap();
+        let weak = Arc::downgrade(&r);
+        drop(r);
+        // Churn the snapshot a few times so retained copies exist.
+        store.ensure(RegionId(8));
+        store.ensure(RegionId(9));
+        assert!(weak.upgrade().is_some(), "still hosted: stays alive");
+        store.drop_region(RegionId(7));
+        assert!(
+            weak.upgrade().is_none(),
+            "dropped region leaked through a retained snapshot"
+        );
+        assert!(store.get(RegionId(7)).is_none());
+        assert_eq!(store.hosted(), vec![RegionId(8), RegionId(9)]);
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub struct Zipf {
     zetan: f64,
     eta: f64,
     zeta2: f64,
+    /// Precomputed `0.5^theta`: the second-item threshold used by every
+    /// sample, hoisted out of the hot path (`powf` per key draw otherwise).
+    half_pow_theta: f64,
 }
 
 impl Zipf {
@@ -33,6 +36,7 @@ impl Zipf {
             zetan,
             eta,
             zeta2,
+            half_pow_theta: 0.5f64.powf(theta),
         }
     }
 
@@ -76,7 +80,7 @@ impl Zipf {
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < 1.0 + self.half_pow_theta {
             return 1;
         }
         let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
