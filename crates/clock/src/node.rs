@@ -283,11 +283,36 @@ impl NodeClock {
         }
     }
 
+    /// Acquires a strict timestamp **without** waiting out the uncertainty:
+    /// returns the interval's upper bound, which the caller must pass to
+    /// [`NodeClock::complete_deferred_wait`] before exposing any write at
+    /// that timestamp. This is the first half of the paper's Figure 4
+    /// pipelining: the wait runs concurrently with COMMIT-BACKUP
+    /// replication instead of blocking the coordinator up front.
+    pub fn get_ts_deferred(&self) -> Timestamp {
+        let interval = self.wait_time();
+        self.stats.timestamps.fetch_add(1, Ordering::Relaxed);
+        interval.upper_ts()
+    }
+
+    /// Completes a deferred strict acquisition: waits until `target` is in
+    /// the past and records the wait in the clock statistics exactly as
+    /// `get_ts(StrictWait)` would have. Returns the nanoseconds waited.
+    pub fn complete_deferred_wait(&self, target: u64) -> u64 {
+        let waited = self.wait_until_past(target);
+        if waited > 0 {
+            self.stats.waits.fetch_add(1, Ordering::Relaxed);
+            self.stats.wait_ns.fetch_add(waited, Ordering::Relaxed);
+        }
+        waited
+    }
+
     /// Waits until the lower bound of the current time interval has passed
     /// `target`, i.e. until `target` is guaranteed to be in the past at the
     /// clock master (Figure 5). Returns the local nanoseconds spent waiting.
     pub fn wait_until_past(&self, target: u64) -> u64 {
         let start = self.clock.now_ns();
+        let mut spins = 0u32;
         loop {
             let interval = self.wait_time();
             if interval.lower >= target {
@@ -299,7 +324,17 @@ impl NodeClock {
                 // roughly real time so this converges in a couple of rounds.
                 std::thread::sleep(Duration::from_nanos(remaining / 2));
             } else {
-                std::hint::spin_loop();
+                spins += 1;
+                if spins.is_multiple_of(128) {
+                    // Sub-threshold waits spin, but on a host with fewer
+                    // cores than waiters an unbroken spin stalls the very
+                    // threads whose progress advances the interval; a
+                    // periodic yield keeps oversubscribed sweeps (fig16 at
+                    // 4–8 coordinator threads per core) from collapsing.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
             }
         }
     }
@@ -617,6 +652,37 @@ mod tests {
         assert_eq!(node.raise_ff(20), 50);
         assert_eq!(node.ff(), 50);
         assert_eq!(node.raise_ff(80), 80);
+    }
+
+    #[test]
+    fn deferred_strict_acquisition_matches_strict_wait() {
+        // On a slave with real uncertainty, get_ts_deferred + the deferred
+        // wait must end in the same state as get_ts(StrictWait): the
+        // returned upper bound is in the past, and the wait was recorded in
+        // the clock statistics.
+        let clock: SharedClock = Arc::new(MonotonicClock::new());
+        let node = NodeClock::new_slave(clock.clone(), cfg());
+        let now = clock.now_ns();
+        node.record_sync(SyncSample {
+            t_send: now,
+            t_cm: now,
+            t_recv: clock.now_ns() + 10_000,
+        });
+        let ts = node.get_ts_deferred();
+        let waited = node.complete_deferred_wait(ts.as_nanos());
+        let interval = node.time().unwrap();
+        assert!(
+            interval.lower >= ts.as_nanos(),
+            "deferred wait did not put the timestamp in the past"
+        );
+        let (_, waits, wait_ns, _) = node.stats().snapshot();
+        if waited > 0 {
+            assert!(waits >= 1);
+            assert!(wait_ns >= waited);
+        }
+        // A second deferred wait on an already-past target is (nearly)
+        // free: it costs one interval read, not an uncertainty wait.
+        assert!(node.complete_deferred_wait(0) < 100_000);
     }
 
     #[test]

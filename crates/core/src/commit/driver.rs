@@ -1,31 +1,45 @@
 //! The commit driver: an explicit phase state machine executing the FaRMv2
 //! commit protocol (Figure 3) — or the FaRMv1-style baseline — with every
-//! phase batched per destination machine.
+//! phase batched per destination machine and **fanned out concurrently**
+//! through the net crate's completion-queue abstraction
+//! ([`CompletionSet`]).
 //!
 //! Phase order (serializable):
 //! `Lock → AcquireWriteTs → Validate → ReplicateBackups → InstallPrimary →
-//! Truncate → OperationLog → Done`.
+//! Truncate → OperationLog → Done`. Under pipelined dispatch the
+//! write-timestamp **uncertainty wait is deferred**: `AcquireWriteTs` only
+//! takes the interval's upper bound, and the wait runs while the
+//! COMMIT-BACKUP writes are in flight (Figure 4) — the commit pays
+//! `max(uncertainty, replication)` instead of their sum.
 //!
-//! Phase order (snapshot isolation): replication overlaps the write-timestamp
-//! wait and validation is skipped:
-//! `Lock → ReplicateBackups → AcquireWriteTs → InstallPrimary → Truncate →
-//! OperationLog → Done`.
+//! Phase order (snapshot isolation): validation is skipped and the
+//! write-timestamp acquisition itself rides the replication flight window:
+//! `Lock → ReplicateBackups (acquiring the write timestamp in-flight) →
+//! InstallPrimary → Truncate → OperationLog → Done`. (Serial dispatch keeps
+//! the PR-1 order `Lock → ReplicateBackups → AcquireWriteTs → ...`.)
 //!
 //! Phase order (baseline): no timestamps; every read is validated:
 //! `Lock → Validate → ReplicateBackups → InstallPrimary → Truncate → Done`.
 //!
 //! Every phase that talks to other machines sends **one metered message per
-//! destination** (see [`super::plan::CommitPlan`]); a K-object write set on
-//! one primary costs one LOCK message, not K. Any failure routes through the
-//! single [`unwind`](super::unwind) step, which releases every lock acquired
-//! so far — across all destinations — and rolls back allocations.
+//! destination** (see [`super::plan::CommitPlan`]), and all of a phase's
+//! messages are issued before any completion is awaited: under
+//! [`DispatchMode::Concurrent`] (the default) the phase costs the *maximum*
+//! destination latency, not the sum, and the destination-side work (lock
+//! acquisition, old-version copies, installs) runs inside the verbs' work
+//! closures. Any failure routes through the single
+//! [`unwind`](super::unwind) step — the completion set always drains every
+//! in-flight sibling first, so unwind sees the locks of *every* destination,
+//! releases them in descending global address order, and rolls back
+//! allocations.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use farm_clock::TsMode;
 use farm_memory::{Addr, LockOutcome, ObjectSlot, OldAddr, OldVersion};
-use farm_net::NodeId;
+use farm_net::{CompletionSet, DispatchMode, NodeId, PhaseLabel, Verb};
 
 use crate::engine::{NodeEngine, OpLogRecord};
 use crate::error::{AbortReason, TxError};
@@ -42,9 +56,13 @@ pub enum CommitPhase {
     /// Batched LOCK messages to every destination primary; in multi-version
     /// mode the primaries copy current versions into old-version memory.
     Lock,
-    /// COMMIT-BACKUP: one RDMA write per backup destination, NIC-acked.
+    /// COMMIT-BACKUP: one RDMA write per backup destination, NIC-acked. In
+    /// pipelined dispatch the write-timestamp uncertainty wait (and, for SI,
+    /// the acquisition itself) runs while these writes are in flight.
     ReplicateBackups,
-    /// Acquire the write timestamp (with uncertainty wait as configured).
+    /// Acquire the write timestamp. Under pipelined serializable dispatch
+    /// only the upper bound is taken here; the uncertainty wait is deferred
+    /// into [`CommitPhase::ReplicateBackups`].
     AcquireWriteTs,
     /// Read validation (serializable FaRMv2: unwritten reads; baseline:
     /// every read).
@@ -57,6 +75,19 @@ pub enum CommitPhase {
     OperationLog,
     /// Terminal state.
     Done,
+}
+
+fn phase_label(phase: CommitPhase) -> PhaseLabel {
+    match phase {
+        CommitPhase::Lock => PhaseLabel::Lock,
+        CommitPhase::ReplicateBackups => PhaseLabel::ReplicateBackups,
+        CommitPhase::AcquireWriteTs => PhaseLabel::AcquireWriteTs,
+        CommitPhase::Validate => PhaseLabel::Validate,
+        CommitPhase::InstallPrimary => PhaseLabel::InstallPrimary,
+        CommitPhase::Truncate => PhaseLabel::Truncate,
+        CommitPhase::OperationLog => PhaseLabel::OperationLog,
+        CommitPhase::Done => unreachable!("Done is not timed"),
+    }
 }
 
 /// One lock held by the driver, with the primary-side LOCK processing result
@@ -76,6 +107,23 @@ pub(crate) struct HeldLock {
     pub truncated: bool,
 }
 
+/// What one destination's LOCK verb produced: the locks it acquired (kept
+/// even on failure, so the coordinator can unwind them) and the first
+/// failure, if any.
+struct DestLockOutcome {
+    locks: Vec<HeldLock>,
+    failure: Option<(Addr, AbortReason)>,
+}
+
+/// What `step` decides after executing one phase.
+enum Step {
+    /// Move to the next phase.
+    Next(CommitPhase),
+    /// The commit is complete with this outcome (baseline read-only commits
+    /// finish straight out of validation).
+    Finish(Option<u64>),
+}
+
 /// The commit driver; built by [`Transaction::commit`](crate::Transaction),
 /// consumed by [`CommitDriver::run`].
 pub struct CommitDriver {
@@ -89,6 +137,14 @@ pub struct CommitDriver {
     locked: Vec<HeldLock>,
     write_ts: u64,
     baseline: bool,
+    dispatch: DispatchMode,
+    /// Whether the write timestamp has been acquired (pipelined SI folds the
+    /// acquisition into the ReplicateBackups flight window).
+    ts_acquired: bool,
+    /// Deferred strict-write-timestamp wait target (pipelined serializable
+    /// dispatch): the upper bound taken in `AcquireWriteTs`, waited out while
+    /// COMMIT-BACKUP is in flight.
+    deferred_wait_target: Option<u64>,
 }
 
 impl CommitDriver {
@@ -102,6 +158,7 @@ impl CommitDriver {
         plan: CommitPlan,
     ) -> CommitDriver {
         let baseline = engine.config().mode.is_baseline();
+        let dispatch = engine.config().dispatch;
         CommitDriver {
             engine,
             opts,
@@ -113,6 +170,9 @@ impl CommitDriver {
             locked: Vec::new(),
             write_ts: 0,
             baseline,
+            dispatch,
+            ts_acquired: false,
+            deferred_wait_target: None,
         }
     }
 
@@ -121,211 +181,174 @@ impl CommitDriver {
         self.phase
     }
 
+    /// Whether the driver fans its per-destination batches out through a
+    /// completion set (anything but [`DispatchMode::Serial`]).
+    fn pipelined(&self) -> bool {
+        self.dispatch != DispatchMode::Serial
+    }
+
     /// Drives the state machine to completion. Returns the write timestamp,
     /// or `None` for a baseline read-only commit (which only validates). On
     /// error every acquired lock has been released and every allocation
-    /// rolled back.
+    /// rolled back. Each phase's wall-clock is recorded in the node's
+    /// [`farm_net::PhaseHistogram`], abort or not.
     pub(crate) fn run(mut self) -> Result<Option<u64>, TxError> {
         let si = !self.baseline && self.opts.isolation == IsolationLevel::SnapshotIsolation;
         loop {
-            self.phase = match self.phase {
-                CommitPhase::Lock => {
-                    self.phase_lock()?;
-                    if self.baseline {
-                        CommitPhase::Validate
-                    } else if si {
-                        CommitPhase::ReplicateBackups
-                    } else {
-                        CommitPhase::AcquireWriteTs
-                    }
-                }
-                CommitPhase::AcquireWriteTs => {
-                    self.phase_acquire_write_ts(si);
-                    if si {
-                        CommitPhase::InstallPrimary
-                    } else {
-                        CommitPhase::Validate
-                    }
-                }
-                CommitPhase::Validate => {
-                    self.phase_validate()?;
-                    if self.baseline
-                        && self.plan.is_empty()
-                        && self.plan.cancelled_allocs.is_empty()
-                    {
-                        // Baseline read-only transactions stop after
-                        // validating every read (FaRMv1 has no snapshots).
-                        return Ok(None);
-                    }
+            let current = self.phase;
+            if current == CommitPhase::Done {
+                return Ok(Some(self.write_ts));
+            }
+            let started = Instant::now();
+            let step = self.step(current, si);
+            self.engine
+                .meter
+                .stats()
+                .phases()
+                .record(phase_label(current), started.elapsed().as_nanos() as u64);
+            match step? {
+                Step::Next(next) => self.phase = next,
+                Step::Finish(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    /// Executes one phase and decides the next.
+    fn step(&mut self, phase: CommitPhase, si: bool) -> Result<Step, TxError> {
+        Ok(match phase {
+            CommitPhase::Lock => {
+                self.phase_lock()?;
+                Step::Next(if self.baseline {
+                    CommitPhase::Validate
+                } else if si {
                     CommitPhase::ReplicateBackups
+                } else {
+                    CommitPhase::AcquireWriteTs
+                })
+            }
+            CommitPhase::AcquireWriteTs => {
+                if self.pipelined() && !si {
+                    // Serializable pipeline: take the upper bound now and
+                    // wait out the uncertainty while COMMIT-BACKUP flies.
+                    self.defer_write_ts();
+                } else {
+                    self.acquire_write_ts(si, false);
                 }
-                CommitPhase::ReplicateBackups => {
-                    self.phase_replicate_backups();
-                    if self.baseline {
-                        CommitPhase::InstallPrimary
-                    } else if si {
-                        CommitPhase::AcquireWriteTs
-                    } else {
-                        CommitPhase::InstallPrimary
-                    }
+                Step::Next(if si {
+                    CommitPhase::InstallPrimary
+                } else {
+                    CommitPhase::Validate
+                })
+            }
+            CommitPhase::Validate => {
+                self.phase_validate()?;
+                if self.baseline && self.plan.is_empty() && self.plan.cancelled_allocs.is_empty() {
+                    // Baseline read-only transactions stop after validating
+                    // every read (FaRMv1 has no snapshots).
+                    return Ok(Step::Finish(None));
                 }
-                CommitPhase::InstallPrimary => {
-                    self.phase_install_primary();
-                    CommitPhase::Truncate
-                }
-                CommitPhase::Truncate => {
-                    self.phase_truncate();
+                Step::Next(CommitPhase::ReplicateBackups)
+            }
+            CommitPhase::ReplicateBackups => {
+                self.phase_replicate_backups(si);
+                Step::Next(if !self.baseline && si && !self.ts_acquired {
+                    // Serial SI keeps the PR-1 order: acquire after the
+                    // replication latency has been paid.
+                    CommitPhase::AcquireWriteTs
+                } else {
+                    CommitPhase::InstallPrimary
+                })
+            }
+            CommitPhase::InstallPrimary => {
+                self.phase_install_primary();
+                Step::Next(CommitPhase::Truncate)
+            }
+            CommitPhase::Truncate => {
+                self.phase_truncate();
+                Step::Next(
                     if !self.baseline && self.engine.config().operation_logging {
                         CommitPhase::OperationLog
                     } else {
                         CommitPhase::Done
-                    }
-                }
-                CommitPhase::OperationLog => {
-                    self.phase_operation_log();
-                    CommitPhase::Done
-                }
-                CommitPhase::Done => return Ok(Some(self.write_ts)),
-            };
-        }
+                    },
+                )
+            }
+            CommitPhase::OperationLog => {
+                self.phase_operation_log();
+                Step::Next(CommitPhase::Done)
+            }
+            CommitPhase::Done => unreachable!("run() returns before stepping Done"),
+        })
     }
 
     // ------------------------------------------------------------------
     // LOCK
     // ------------------------------------------------------------------
 
-    /// Sends one LOCK batch per destination primary and acquires the locks
-    /// in ascending global address order (groups ascend by region, intents
-    /// by address). The whole transaction unwinds on the first conflict.
+    /// Sends one LOCK batch per destination primary — **all destinations at
+    /// once** under pipelined dispatch — and collects every destination's
+    /// acquired locks into ascending global address order. Primary-side LOCK
+    /// processing (batch lock acquisition, multi-version old-version copies)
+    /// runs inside the per-destination verb closures. The whole transaction
+    /// unwinds on the first conflict; in-flight sibling destinations are
+    /// always drained first, so their locks are released too.
     fn phase_lock(&mut self) -> Result<(), TxError> {
-        let stats = &self.engine.stats;
+        let engine = Arc::clone(&self.engine);
+        let stats = &engine.stats;
         // Message accounting: one two-sided LOCK message per destination.
         for dest in self.plan.lock_destinations() {
-            self.engine.meter.rpc_batch(dest.lock_ops, dest.lock_bytes);
+            engine
+                .meter
+                .rpc_batch_deferred(dest.lock_ops, dest.lock_bytes);
             EngineStats::bump(&stats.lock_batches);
             EngineStats::add(&stats.lock_batch_objects, dest.lock_ops);
         }
-        // Lock acquisition, region group by region group. Each group's batch
-        // is processed atomically-in-order at its primary; a failure releases
-        // the failing batch (inside `try_lock_batch`) and then every batch
-        // acquired earlier (inside `unwind`).
-        for gi in 0..self.plan.groups.len() {
-            let entries = self.plan.groups[gi].lock_entries();
-            let lockable = entries.len();
-            if entries.is_empty() {
-                continue;
+        let mode = engine.config().mode;
+        let plan = &self.plan;
+        let engine_ref: &NodeEngine = &engine;
+        let mut set: CompletionSet<'_, DestLockOutcome> =
+            CompletionSet::new(engine.meter.latency_model());
+        for (primary, group_idxs) in plan.groups_by_primary() {
+            let lockable: Vec<usize> = group_idxs
+                .into_iter()
+                .filter(|&gi| plan.groups[gi].intents.iter().any(|i| i.needs_lock()))
+                .collect();
+            if lockable.is_empty() {
+                continue; // Alloc-only destination: no LOCK message.
             }
-            let slots = match self.plan.groups[gi].region_handle.try_lock_batch(&entries) {
-                Ok(slots) => slots,
-                Err(failure) => {
-                    let reason = match failure.outcome {
-                        LockOutcome::NotAllocated => AbortReason::BadAddress(failure.addr),
-                        _ => AbortReason::LockConflict(failure.addr),
-                    };
-                    return Err(self.abort(reason));
-                }
-            };
-            // Register the held locks before primary-side LOCK processing so
-            // a mid-batch failure unwinds them too.
-            let mut slot_iter = slots.into_iter();
-            for (ii, intent) in self.plan.groups[gi].intents.iter().enumerate() {
-                if !intent.needs_lock() {
-                    continue;
-                }
-                let slot = slot_iter.next().expect("one slot per lockable intent");
-                self.locked.push(HeldLock {
-                    group: gi,
-                    intent: ii,
-                    slot,
-                    old_addr: None,
-                    truncated: false,
-                });
+            let work = move || lock_at_destination(engine_ref, plan, &lockable, mode);
+            if primary == engine.id() {
+                // The LOCK message is still metered above (it is a protocol
+                // message either way), but a co-located primary processes it
+                // without crossing the wire: no injected latency, matching
+                // the local bypass every other phase applies.
+                set.issue_local(primary, work);
+            } else {
+                set.issue(primary, Verb::Rpc, work);
             }
-            // Primary-side LOCK processing: in multi-version mode, copy the
-            // current version of every locked object (updates and frees
-            // alike — a free preserves history identically) into old-version
-            // memory while holding the lock.
-            if let EngineMode::FarmV2 {
-                multi_version: true,
-                mv_policy,
-            } = self.engine.config().mode
-            {
-                let primary = self.plan.groups[gi].primary;
-                let start = self.locked.len() - lockable;
-                for li in start..self.locked.len() {
-                    let snapshot = self.locked[li].slot.header_snapshot();
-                    let old = OldVersion {
-                        ts: snapshot.ts,
-                        ovp: snapshot.ovp,
-                        data: self.locked[li].slot.raw_data(),
-                    };
-                    match self.allocate_old_version(primary, old, mv_policy) {
-                        Ok(addr) => {
-                            self.locked[li].old_addr = Some(addr);
-                            EngineStats::bump(&self.engine.stats.old_versions_allocated);
-                        }
-                        Err(AbortReason::OldVersionMemoryExhausted)
-                            if mv_policy == MvPolicy::Truncate =>
-                        {
-                            EngineStats::bump(&self.engine.stats.oldver_truncations);
-                            self.locked[li].truncated = true;
-                        }
-                        Err(reason) => return Err(self.abort(reason)),
-                    }
+        }
+        let outcomes = set.complete(self.dispatch, Some(engine.meter.stats()));
+        // Merge every destination's locks (failed destinations included:
+        // partially acquired batches must unwind too) and pick the failure
+        // with the smallest global address, so the abort reason is
+        // deterministic whatever order the destinations completed in.
+        let mut failure: Option<(Addr, AbortReason)> = None;
+        for completion in outcomes {
+            let outcome = completion.value;
+            self.locked.extend(outcome.locks);
+            if let Some((addr, reason)) = outcome.failure {
+                if failure.as_ref().is_none_or(|&(prev, _)| addr < prev) {
+                    failure = Some((addr, reason));
                 }
             }
         }
-        Ok(())
-    }
-
-    /// Allocates an old version at `primary`, applying the configured policy
-    /// when old-version memory is exhausted. The coordinator thread performs
-    /// the allocation directly on the primary's store through the store's
-    /// per-thread cursor shard, standing in for the primary thread that
-    /// processes the LOCK batch — so concurrent LOCK batches (to different
-    /// primaries, or from different threads to the same primary) never
-    /// contend on any coordinator-global lock.
-    fn allocate_old_version(
-        &self,
-        primary: NodeId,
-        old: OldVersion,
-        policy: MvPolicy,
-    ) -> Result<OldAddr, AbortReason> {
-        const MAX_BLOCK_RETRIES: u32 = 1_000;
-        let store = Arc::clone(self.engine.cluster().node(primary).old_versions());
-        let mut attempt = 0;
-        loop {
-            let allocated = store.allocate_local(old.clone()).or_else(|_| {
-                // Memory pressure: idle per-thread cursors pin partially
-                // filled blocks as uncollectable, so seal them all, reclaim
-                // below the safe point, and retry once before invoking the
-                // policy (a store with many quiet threads would otherwise
-                // report exhaustion while holding mostly-empty blocks).
-                store.detach_cursors();
-                store.collect(self.engine.cluster().node(primary).gc_safe_point());
-                store.allocate_local(old.clone())
-            });
-            match allocated {
-                Ok(addr) => return Ok(addr),
-                Err(_) => match policy {
-                    MvPolicy::Abort => {
-                        EngineStats::bump(&self.engine.stats.aborts_oldver_memory);
-                        return Err(AbortReason::OldVersionMemoryExhausted);
-                    }
-                    MvPolicy::Truncate => return Err(AbortReason::OldVersionMemoryExhausted),
-                    MvPolicy::Block => {
-                        attempt += 1;
-                        EngineStats::bump(&self.engine.stats.oldver_blocks);
-                        if attempt > MAX_BLOCK_RETRIES {
-                            return Err(AbortReason::OldVersionMemoryExhausted);
-                        }
-                        // Back off and loop: the safe point advances while
-                        // we wait, so the pre-retry reclamation above frees
-                        // more each time around.
-                        std::thread::sleep(std::time::Duration::from_micros(100));
-                    }
-                },
-            }
+        // Groups ascend by region and intents by address, so sorting by
+        // (group, intent) restores the ascending global address order that
+        // install relies on and unwind releases in reverse.
+        self.locked.sort_by_key(|h| (h.group, h.intent));
+        match failure {
+            Some((_, reason)) => Err(self.abort(reason)),
+            None => Ok(()),
         }
     }
 
@@ -333,12 +356,16 @@ impl CommitDriver {
     // Write timestamp
     // ------------------------------------------------------------------
 
-    /// Acquires the write timestamp. Serializable transactions (and strict SI
-    /// transactions) wait out the uncertainty; non-strict SI takes the upper
-    /// bound without waiting. The `unsafe_skip_write_wait` ablation skips the
-    /// wait entirely, which breaks serializability (Section 7.3).
-    fn phase_acquire_write_ts(&mut self, si: bool) {
+    /// Acquires the write timestamp, waiting out the uncertainty as the mode
+    /// requires. `overlapped` marks waits performed while COMMIT-BACKUP
+    /// writes were in flight (for the overlap statistics). Serializable
+    /// transactions (and strict SI transactions) wait; non-strict SI takes
+    /// the upper bound without waiting. The `unsafe_skip_write_wait`
+    /// ablation skips the wait entirely, which breaks serializability
+    /// (Section 7.3).
+    fn acquire_write_ts(&mut self, si: bool, overlapped: bool) {
         let clock = Arc::clone(self.engine.handle().clock());
+        self.ts_acquired = true;
         if self.engine.config().unsafe_skip_write_wait {
             let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
             self.write_ts = ts.as_nanos();
@@ -350,11 +377,36 @@ impl CommitDriver {
             TsMode::StrictWait
         };
         let (ts, waited) = clock.get_ts(mode);
+        self.record_write_wait(waited, overlapped);
+        self.write_ts = ts.as_nanos();
+    }
+
+    /// Pipelined serializable acquisition: take the interval's upper bound
+    /// **without waiting** and remember it; the uncertainty wait happens in
+    /// `phase_replicate_backups`, overlapping the COMMIT-BACKUP flight
+    /// window (Figure 4). Writes are still only exposed (InstallPrimary)
+    /// after the wait completes, so strictness is preserved.
+    fn defer_write_ts(&mut self) {
+        let clock = Arc::clone(self.engine.handle().clock());
+        self.ts_acquired = true;
+        if self.engine.config().unsafe_skip_write_wait {
+            let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
+            self.write_ts = ts.as_nanos();
+            return;
+        }
+        let ts = clock.get_ts_deferred();
+        self.write_ts = ts.as_nanos();
+        self.deferred_wait_target = Some(ts.as_nanos());
+    }
+
+    fn record_write_wait(&self, waited: u64, overlapped: bool) {
         if waited > 0 {
             EngineStats::bump(&self.engine.stats.write_waits);
             EngineStats::add(&self.engine.stats.write_wait_ns, waited);
+            if overlapped {
+                EngineStats::add(&self.engine.stats.write_wait_overlapped_ns, waited);
+            }
         }
-        self.write_ts = ts.as_nanos();
     }
 
     // ------------------------------------------------------------------
@@ -362,12 +414,12 @@ impl CommitDriver {
     // ------------------------------------------------------------------
 
     /// Read validation with one-sided header reads, batched **per destination
-    /// primary** exactly like the LOCK path: the headers of every unwritten
-    /// read-set object at one primary are fetched by a single doorbell-batched
-    /// read message, not one message per object. FaRMv2 (serializable)
+    /// primary** exactly like the LOCK path — and fanned out to all
+    /// destinations at once under pipelined dispatch. FaRMv2 (serializable)
     /// validates reads that were not written; the baseline validates every
     /// read — including those of read-only transactions — against the exact
-    /// version observed.
+    /// version observed. The failure reported is the smallest failing
+    /// address, whatever order the destinations completed in.
     fn phase_validate(&mut self) -> Result<(), TxError> {
         let written: std::collections::HashSet<Addr> = self
             .plan
@@ -377,7 +429,7 @@ impl CommitDriver {
             .collect();
         // Group the unwritten reads by destination primary, ascending by
         // address within each group (deterministic first-failure reporting),
-        // carrying each address's resolved region so the validation loop
+        // carrying each address's resolved region so the validation closure
         // does not re-resolve it.
         type Pending = (Addr, u64, Arc<farm_memory::Region>);
         let mut by_primary: std::collections::BTreeMap<NodeId, Vec<Pending>> =
@@ -394,42 +446,41 @@ impl CommitDriver {
                 .or_default()
                 .push((addr, observed, region));
         }
-        let stats = &self.engine.stats;
-        for (primary, mut entries) in by_primary {
+        for entries in by_primary.values_mut() {
             entries.sort_by_key(|&(addr, ..)| addr);
+        }
+        let engine = Arc::clone(&self.engine);
+        let stats = &engine.stats;
+        let baseline = self.baseline;
+        let read_ts = self.read_ts;
+        let mut set: CompletionSet<'_, Option<Addr>> =
+            CompletionSet::new(engine.meter.latency_model());
+        for (&primary, entries) in &by_primary {
             // One VALIDATE message per destination primary carrying all of
             // its header reads (16 bytes each); free when the coordinator is
             // that primary (local bypass).
             EngineStats::bump(&stats.validate_batches);
             EngineStats::add(&stats.validate_batch_objects, entries.len() as u64);
-            if primary == self.engine.id() {
+            let work = move || validate_at_destination(entries, baseline, read_ts);
+            if primary == engine.id() {
                 EngineStats::add(&stats.read_local_bypass, entries.len() as u64);
+                set.issue_local(primary, work);
             } else {
-                self.engine
+                engine
                     .meter
-                    .read_batch(entries.len() as u64, 16 * entries.len());
-            }
-            for (addr, observed, region) in entries {
-                let ok = match region.slot(addr) {
-                    Ok(slot) => {
-                        let h = slot.header_snapshot();
-                        if self.baseline {
-                            !h.locked && !h.tombstone && h.ts == observed
-                        } else {
-                            // The snapshot is still current iff no version
-                            // (or tombstone) newer than the read timestamp
-                            // was installed (Algorithm 2, line 19).
-                            !h.locked && !h.tombstone && h.ts <= self.read_ts
-                        }
-                    }
-                    Err(_) => false,
-                };
-                if !ok {
-                    return Err(self.abort(AbortReason::ValidationFailed(addr)));
-                }
+                    .read_batch_deferred(entries.len() as u64, 16 * entries.len());
+                set.issue(primary, Verb::RdmaRead, work);
             }
         }
-        Ok(())
+        let failure = set
+            .complete(self.dispatch, Some(engine.meter.stats()))
+            .into_iter()
+            .filter_map(|c| c.value)
+            .min();
+        match failure {
+            Some(addr) => Err(self.abort(AbortReason::ValidationFailed(addr))),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -437,98 +488,119 @@ impl CommitDriver {
     // ------------------------------------------------------------------
 
     /// One RDMA write per **backup destination** carrying the transaction's
-    /// entire payload for that machine, acknowledged by the NIC only.
-    fn phase_replicate_backups(&mut self) {
-        for (_node, ops, bytes) in self.plan.backup_destinations() {
-            self.engine.meter.write_batch(ops, bytes);
-            self.engine.meter.ack();
-            EngineStats::bump(&self.engine.stats.backup_batches);
+    /// entire payload for that machine, acknowledged by the NIC only. Under
+    /// pipelined dispatch this phase also performs the pending
+    /// write-timestamp work *while the writes are in flight*: the deferred
+    /// serializable uncertainty wait, or the whole SI acquisition — the
+    /// Figure 4 overlap. The phase then costs
+    /// `max(replication, uncertainty)` instead of their sum.
+    fn phase_replicate_backups(&mut self, si: bool) {
+        let engine = Arc::clone(&self.engine);
+        let mut set: CompletionSet<'_, ()> = CompletionSet::new(engine.meter.latency_model());
+        for (node, ops, bytes) in self.plan.backup_destinations() {
+            engine.meter.write_batch_deferred(ops, bytes);
+            engine.meter.ack();
+            EngineStats::bump(&engine.stats.backup_batches);
+            if node == engine.id() {
+                set.issue_local(node, || ());
+            } else {
+                set.issue(node, Verb::RdmaWrite, || ());
+            }
         }
+        if self.pipelined() && !self.baseline {
+            let overlapped = !set.is_empty();
+            if !self.ts_acquired {
+                // Pipelined SI: the acquisition (and its wait, for strict
+                // SI) rides the replication flight window.
+                self.acquire_write_ts(si, overlapped);
+            } else if let Some(target) = self.deferred_wait_target.take() {
+                // Pipelined serializable: complete the deferred wait.
+                let clock = Arc::clone(engine.handle().clock());
+                let waited = clock.complete_deferred_wait(target);
+                self.record_write_wait(waited, overlapped);
+            }
+        }
+        set.complete(self.dispatch, Some(engine.meter.stats()));
     }
 
     // ------------------------------------------------------------------
     // COMMIT-PRIMARY
     // ------------------------------------------------------------------
 
-    /// One batched install message per destination primary: updates install
-    /// and unlock, frees tombstone (multi-version) or clear (single-version),
-    /// allocs initialize.
+    /// One batched install message per destination primary, all destinations
+    /// in flight together under pipelined dispatch: updates install and
+    /// unlock, frees tombstone (multi-version) or clear (single-version),
+    /// allocs initialize. Within each destination the held locks apply in
+    /// ascending address order (the acquisition order).
     fn phase_install_primary(&mut self) {
+        let engine = Arc::clone(&self.engine);
         // Message accounting: one RDMA write per destination primary.
         for (_node, ops, bytes) in self.plan.primary_destinations() {
-            self.engine.meter.write_batch(ops, bytes);
-            EngineStats::bump(&self.engine.stats.primary_batches);
+            engine.meter.write_batch_deferred(ops, bytes);
+            EngineStats::bump(&engine.stats.primary_batches);
         }
 
-        let multi_version = self.engine.config().mode.is_multi_version();
-        let mut max_version = 0u64;
+        let multi_version = engine.config().mode.is_multi_version();
+        let baseline = self.baseline;
+        let write_ts = self.write_ts;
+        let plan = &self.plan;
+        let locked = &self.locked;
+        let engine_ref: &NodeEngine = &engine;
 
-        // Apply the held locks (updates and frees) in acquisition order.
-        for held in &self.locked {
-            let group = &self.plan.groups[held.group];
-            let intent = &group.intents[held.intent];
-            let new_ts = if self.baseline {
-                // Baseline "timestamps" are per-object version counters.
-                let v = intent.expected_ts + 1;
-                max_version = max_version.max(v);
-                v
-            } else {
-                self.write_ts
+        // Group the work per destination primary: held-lock indices, groups
+        // holding alloc intents, and cancelled allocations.
+        let mut lock_idxs: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (li, held) in locked.iter().enumerate() {
+            lock_idxs
+                .entry(plan.groups[held.group].primary)
+                .or_default()
+                .push(li);
+        }
+        let mut cancelled: HashMap<NodeId, Vec<Addr>> = HashMap::new();
+        for &addr in &plan.cancelled_allocs {
+            if let Ok((primary, _region)) = engine.primary_region_of(addr) {
+                cancelled.entry(primary).or_default().push(addr);
+            }
+        }
+        let mut set: CompletionSet<'_, u64> = CompletionSet::new(engine.meter.latency_model());
+        for (primary, group_idxs) in plan.groups_by_primary() {
+            let idxs = lock_idxs.remove(&primary).unwrap_or_default();
+            let cancels = cancelled.remove(&primary).unwrap_or_default();
+            let work = move || {
+                install_at_destination(
+                    engine_ref,
+                    plan,
+                    locked,
+                    &idxs,
+                    &group_idxs,
+                    &cancels,
+                    write_ts,
+                    baseline,
+                    multi_version,
+                )
             };
-            let ovp = if multi_version && !held.truncated {
-                if let Some(old_addr) = held.old_addr {
-                    // The old version becomes reclaimable once the GC safe
-                    // point passes this transaction's write timestamp.
-                    self.engine
-                        .cluster()
-                        .node(group.primary)
-                        .old_versions()
-                        .set_gc_time(old_addr, new_ts);
-                    Some(old_addr)
-                } else {
-                    None
-                }
+            if primary == engine.id() {
+                set.issue_local(primary, work);
             } else {
-                None
-            };
-            match intent.kind {
-                IntentKind::Update => {
-                    held.slot
-                        .install_and_unlock(new_ts, intent.data.clone(), ovp);
-                }
-                IntentKind::Free if multi_version => {
-                    // A multi-version free preserves history exactly as an
-                    // update does: the slot becomes a tombstone anchoring the
-                    // old-version chain, and is reclaimed by the GC sweep
-                    // once the safe point passes `new_ts`.
-                    held.slot.install_tombstone_and_unlock(new_ts, ovp);
-                    group.region_handle.note_tombstone(intent.addr, new_ts);
-                }
-                IntentKind::Free => {
-                    held.slot.clear();
-                    let _ = group.region_handle.free(intent.addr);
-                }
-                IntentKind::Alloc => unreachable!("allocs take no lock"),
+                set.issue(primary, Verb::RdmaWrite, work);
             }
         }
-        // Initialize newly allocated objects at their primaries.
-        for group in &self.plan.groups {
-            for intent in group.intents.iter().filter(|i| i.kind == IntentKind::Alloc) {
-                if let Ok(slot) = group.region_handle.slot(intent.addr) {
-                    let ts = if self.baseline { 1 } else { self.write_ts };
-                    slot.initialize(ts, intent.data.clone());
+        let completions = set.complete(self.dispatch, Some(engine.meter.stats()));
+        // A transaction that only alloc+freed objects in some region has
+        // cancelled allocations at a primary with *no* plan group (cancelled
+        // intents carry no message): return those slots here, as the serial
+        // driver always did.
+        for addrs in cancelled.into_values() {
+            for addr in addrs {
+                if let Ok((_p, region)) = engine.primary_region_of(addr) {
+                    let _ = region.free(addr);
                 }
             }
         }
-        // Return slots of objects allocated and freed by the same
-        // transaction (they were never visible).
-        for &addr in &self.plan.cancelled_allocs {
-            if let Ok((_p, region)) = self.engine.primary_region_of(addr) {
-                let _ = region.free(addr);
-            }
-        }
-        if self.baseline {
-            self.write_ts = max_version;
+        if baseline {
+            // Baseline "timestamps" are per-object version counters; the
+            // commit reports the largest one it installed.
+            self.write_ts = completions.iter().map(|c| c.value).max().unwrap_or(0);
         }
         self.locked.clear();
     }
@@ -538,71 +610,53 @@ impl CommitDriver {
     // ------------------------------------------------------------------
 
     /// Backups apply the new versions to their replicas — one truncation
-    /// message per backup destination. (In operation-logging mode data is
-    /// not replicated, so this is a no-op.)
+    /// message per backup destination, all in flight together under
+    /// pipelined dispatch. (In operation-logging mode data is not
+    /// replicated, so this is a no-op.)
     fn phase_truncate(&mut self) {
         if self.engine.config().operation_logging {
             return;
         }
+        let engine = Arc::clone(&self.engine);
+        let plan = &self.plan;
+        let write_ts = self.write_ts;
+        // Slab size classes per group, resolved at the coordinator (which
+        // mirrors the primary's layout when creating backup slabs).
+        let slab_sizes: Vec<Option<Vec<usize>>> = plan
+            .groups
+            .iter()
+            .map(|g| slab_sizes_of(&engine, g))
+            .collect();
         let mut destinations: Vec<NodeId> = Vec::new();
-        for group in &self.plan.groups {
-            let Some(slab_sizes) = self.slab_sizes_of(group) else {
+        for (group, sizes) in plan.groups.iter().zip(&slab_sizes) {
+            if sizes.is_none() {
+                // The primary's region is gone (e.g. dropped after a kill):
+                // nothing to mirror, no message to meter.
                 continue;
-            };
+            }
             for &backup in &group.backups {
                 if !destinations.contains(&backup) {
                     destinations.push(backup);
                 }
-                let replica = self
-                    .engine
-                    .cluster()
-                    .node(backup)
-                    .regions()
-                    .ensure(group.region);
-                for (intent, &slab_size) in group.intents.iter().zip(&slab_sizes) {
-                    if slab_size == 0 {
-                        continue;
-                    }
-                    let slab = replica.ensure_slab(intent.addr.slab, slab_size);
-                    let Ok(slot) = slab.slot(intent.addr.slot) else {
-                        continue;
-                    };
-                    match intent.kind {
-                        IntentKind::Free => slot.clear(),
-                        _ => slot.initialize(self.write_ts, intent.data.clone()),
-                    }
-                }
             }
         }
-        for _ in &destinations {
+        let engine_ref: &NodeEngine = &engine;
+        let slab_sizes_ref = &slab_sizes;
+        let mut set: CompletionSet<'_, ()> = CompletionSet::new(engine.meter.latency_model());
+        for backup in destinations {
             // Truncations are piggybacked two-sided messages, one per
             // destination.
-            self.engine.meter.rpc(16);
-            EngineStats::bump(&self.engine.stats.truncate_batches);
+            engine.meter.rpc_batch_deferred(1, 16);
+            EngineStats::bump(&engine.stats.truncate_batches);
+            let work =
+                move || truncate_at_backup(engine_ref, plan, slab_sizes_ref, backup, write_ts);
+            if backup == engine.id() {
+                set.issue_local(backup, work);
+            } else {
+                set.issue(backup, Verb::Rpc, work);
+            }
         }
-    }
-
-    /// Object sizes (slab size classes) of a group's intents at the primary,
-    /// used to mirror the slab layout at backups. 0 marks unresolvable slots.
-    fn slab_sizes_of(&self, group: &super::plan::RegionGroup) -> Option<Vec<usize>> {
-        let region = self
-            .engine
-            .cluster()
-            .node(group.primary)
-            .regions()
-            .get(group.region)?;
-        Some(
-            group
-                .intents
-                .iter()
-                .map(|i| {
-                    region
-                        .slab(i.addr.slab)
-                        .map(|s| s.object_size())
-                        .unwrap_or(0)
-                })
-                .collect(),
-        )
+        set.complete(self.dispatch, Some(engine.meter.stats()));
     }
 
     // ------------------------------------------------------------------
@@ -610,8 +664,10 @@ impl CommitDriver {
     // ------------------------------------------------------------------
 
     /// Operation-logging mode: append the transaction description to
-    /// `replication` in-memory logs spread over the cluster (Section 5.6).
+    /// `replication` in-memory logs spread over the cluster (Section 5.6),
+    /// all replicas in flight together under pipelined dispatch.
     fn phase_operation_log(&mut self) {
+        let engine = Arc::clone(&self.engine);
         let writes: Vec<Addr> = self
             .plan
             .groups
@@ -624,37 +680,45 @@ impl CommitDriver {
             })
             .collect();
         let record = OpLogRecord {
-            coordinator: self.engine.id(),
+            coordinator: engine.id(),
             write_ts: self.write_ts,
             writes,
         };
-        let members = self.engine.cluster().current_config().members;
-        let replication = self
-            .engine
-            .cluster()
-            .config()
-            .replication
-            .min(members.len());
+        let members = engine.cluster().current_config().members;
+        let replication = engine.cluster().config().replication.min(members.len());
         // Load-balance the log replicas by coordinator id + write ts.
-        let start = (self.engine.id().index() + self.write_ts as usize) % members.len();
+        let start = (engine.id().index() + self.write_ts as usize) % members.len();
+        let engine_ref: &NodeEngine = &engine;
+        let record_ref = &record;
+        let mut set: CompletionSet<'_, ()> = CompletionSet::new(engine.meter.latency_model());
         for k in 0..replication {
             let target = members[(start + k) % members.len()];
-            self.engine.meter.write(64 + record.writes.len() * 8);
-            self.engine.meter.ack();
-            // Store the record at the target node's engine; going through the
-            // cluster keeps this symmetric even though only the local engine
-            // handle is reachable from here.
-            if target == self.engine.id() {
-                self.engine.append_op_log(record.clone());
+            engine
+                .meter
+                .write_batch_deferred(1, 64 + record.writes.len() * 8);
+            engine.meter.ack();
+            if target == engine.id() {
+                // Store the record at this node's engine; remote replicas
+                // are metered only — going through the cluster keeps the
+                // accounting symmetric even though only the local engine
+                // handle is reachable from here.
+                set.issue_local(target, || engine_ref.append_op_log(record_ref.clone()));
+            } else {
+                set.issue(target, Verb::RdmaWrite, || ());
             }
         }
+        set.complete(self.dispatch, Some(engine.meter.stats()));
     }
 
     // ------------------------------------------------------------------
     // Abort
     // ------------------------------------------------------------------
 
-    /// Routes a phase failure through the central unwind step.
+    /// Routes a phase failure through the central unwind step. By the time
+    /// this runs, every in-flight sibling verb of the failing phase has
+    /// already been drained (the completion set never short-circuits), so
+    /// `self.locked` holds the locks of *all* destinations, in ascending
+    /// global address order.
     fn abort(&mut self, reason: AbortReason) -> TxError {
         unwind(
             &self.engine,
@@ -664,4 +728,327 @@ impl CommitDriver {
             reason,
         )
     }
+}
+
+// ----------------------------------------------------------------------
+// Destination-side verb work (runs inside completion-set closures, on the
+// coordinator thread or on worker threads standing in for the destination
+// machines' cores)
+// ----------------------------------------------------------------------
+
+/// Primary-side LOCK processing for one destination: acquire every group's
+/// batch atomically-in-order, then (multi-version mode) copy the current
+/// version of each locked object into old-version memory while holding the
+/// lock. Locks acquired before a failure are *returned, not released* — the
+/// coordinator's unwind releases them together with every other
+/// destination's, preserving the single central abort path.
+fn lock_at_destination(
+    engine: &NodeEngine,
+    plan: &CommitPlan,
+    group_idxs: &[usize],
+    mode: EngineMode,
+) -> DestLockOutcome {
+    let mut out = DestLockOutcome {
+        locks: Vec::new(),
+        failure: None,
+    };
+    for &gi in group_idxs {
+        let group = &plan.groups[gi];
+        let entries = group.lock_entries();
+        if entries.is_empty() {
+            continue;
+        }
+        // The destination may have died while the verb was in flight
+        // (fault injection): fail the batch rather than touch dead memory.
+        if !engine.cluster().node(group.primary).is_alive() {
+            let addr = entries[0].0;
+            out.failure = Some((addr, AbortReason::RegionUnavailable(addr)));
+            return out;
+        }
+        let slots = match group.region_handle.try_lock_batch(&entries) {
+            Ok(slots) => slots,
+            Err(failure) => {
+                let reason = match failure.outcome {
+                    LockOutcome::NotAllocated => AbortReason::BadAddress(failure.addr),
+                    _ => AbortReason::LockConflict(failure.addr),
+                };
+                out.failure = Some((failure.addr, reason));
+                return out;
+            }
+        };
+        let lockable = slots.len();
+        let mut slot_iter = slots.into_iter();
+        for (ii, intent) in group.intents.iter().enumerate() {
+            if !intent.needs_lock() {
+                continue;
+            }
+            let slot = slot_iter.next().expect("one slot per lockable intent");
+            out.locks.push(HeldLock {
+                group: gi,
+                intent: ii,
+                slot,
+                old_addr: None,
+                truncated: false,
+            });
+        }
+        // Primary-side LOCK processing: in multi-version mode, copy the
+        // current version of every locked object (updates and frees alike —
+        // a free preserves history identically) into old-version memory
+        // while holding the lock.
+        if let EngineMode::FarmV2 {
+            multi_version: true,
+            mv_policy,
+        } = mode
+        {
+            let start = out.locks.len() - lockable;
+            for li in start..out.locks.len() {
+                let snapshot = out.locks[li].slot.header_snapshot();
+                let old = OldVersion {
+                    ts: snapshot.ts,
+                    ovp: snapshot.ovp,
+                    data: out.locks[li].slot.raw_data(),
+                };
+                match allocate_old_version(engine, group.primary, old, mv_policy) {
+                    Ok(addr) => {
+                        out.locks[li].old_addr = Some(addr);
+                        EngineStats::bump(&engine.stats.old_versions_allocated);
+                    }
+                    Err(AbortReason::OldVersionMemoryExhausted)
+                        if mv_policy == MvPolicy::Truncate =>
+                    {
+                        EngineStats::bump(&engine.stats.oldver_truncations);
+                        out.locks[li].truncated = true;
+                    }
+                    Err(reason) => {
+                        let held = &out.locks[li];
+                        let addr = plan.groups[held.group].intents[held.intent].addr;
+                        out.failure = Some((addr, reason));
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Allocates an old version at `primary`, applying the configured policy
+/// when old-version memory is exhausted. The executing thread performs the
+/// allocation directly on the primary's store through the store's per-thread
+/// cursor shard, standing in for the primary thread that processes the LOCK
+/// batch — so concurrent LOCK batches (to different primaries, or from
+/// different threads to the same primary) never contend on any
+/// coordinator-global lock.
+fn allocate_old_version(
+    engine: &NodeEngine,
+    primary: NodeId,
+    old: OldVersion,
+    policy: MvPolicy,
+) -> Result<OldAddr, AbortReason> {
+    const MAX_BLOCK_RETRIES: u32 = 1_000;
+    let store = Arc::clone(engine.cluster().node(primary).old_versions());
+    let mut attempt = 0;
+    loop {
+        let allocated = store.allocate_local(old.clone()).or_else(|_| {
+            // Memory pressure: idle per-thread cursors pin partially
+            // filled blocks as uncollectable, so seal them all, reclaim
+            // below the safe point, and retry once before invoking the
+            // policy (a store with many quiet threads would otherwise
+            // report exhaustion while holding mostly-empty blocks).
+            store.detach_cursors();
+            store.collect(engine.cluster().node(primary).gc_safe_point());
+            store.allocate_local(old.clone())
+        });
+        match allocated {
+            Ok(addr) => return Ok(addr),
+            Err(_) => match policy {
+                MvPolicy::Abort => {
+                    EngineStats::bump(&engine.stats.aborts_oldver_memory);
+                    return Err(AbortReason::OldVersionMemoryExhausted);
+                }
+                MvPolicy::Truncate => return Err(AbortReason::OldVersionMemoryExhausted),
+                MvPolicy::Block => {
+                    attempt += 1;
+                    EngineStats::bump(&engine.stats.oldver_blocks);
+                    if attempt > MAX_BLOCK_RETRIES {
+                        return Err(AbortReason::OldVersionMemoryExhausted);
+                    }
+                    // Back off and loop: the safe point advances while
+                    // we wait, so the pre-retry reclamation above frees
+                    // more each time around.
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            },
+        }
+    }
+}
+
+/// Validates one destination's batch of header reads. Returns the first
+/// (smallest, entries are sorted) failing address, or `None` when the whole
+/// batch validates.
+fn validate_at_destination(
+    entries: &[(Addr, u64, Arc<farm_memory::Region>)],
+    baseline: bool,
+    read_ts: u64,
+) -> Option<Addr> {
+    for (addr, observed, region) in entries {
+        let ok = match region.slot(*addr) {
+            Ok(slot) => {
+                let h = slot.header_snapshot();
+                if baseline {
+                    !h.locked && !h.tombstone && h.ts == *observed
+                } else {
+                    // The snapshot is still current iff no version (or
+                    // tombstone) newer than the read timestamp was
+                    // installed (Algorithm 2, line 19).
+                    !h.locked && !h.tombstone && h.ts <= read_ts
+                }
+            }
+            Err(_) => false,
+        };
+        if !ok {
+            return Some(*addr);
+        }
+    }
+    None
+}
+
+/// COMMIT-PRIMARY processing for one destination: apply the held locks in
+/// ascending address order, initialize this destination's allocs, and return
+/// the slots of cancelled allocations. Returns the largest baseline version
+/// installed (0 in timestamp modes).
+#[allow(clippy::too_many_arguments)]
+fn install_at_destination(
+    engine: &NodeEngine,
+    plan: &CommitPlan,
+    locked: &[HeldLock],
+    lock_idxs: &[usize],
+    group_idxs: &[usize],
+    cancelled: &[Addr],
+    write_ts: u64,
+    baseline: bool,
+    multi_version: bool,
+) -> u64 {
+    let mut max_version = 0u64;
+    for &li in lock_idxs {
+        let held = &locked[li];
+        let group = &plan.groups[held.group];
+        let intent = &group.intents[held.intent];
+        let new_ts = if baseline {
+            // Baseline "timestamps" are per-object version counters.
+            let v = intent.expected_ts + 1;
+            max_version = max_version.max(v);
+            v
+        } else {
+            write_ts
+        };
+        let ovp = if multi_version && !held.truncated {
+            if let Some(old_addr) = held.old_addr {
+                // The old version becomes reclaimable once the GC safe
+                // point passes this transaction's write timestamp.
+                engine
+                    .cluster()
+                    .node(group.primary)
+                    .old_versions()
+                    .set_gc_time(old_addr, new_ts);
+                Some(old_addr)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match intent.kind {
+            IntentKind::Update => {
+                held.slot
+                    .install_and_unlock(new_ts, intent.data.clone(), ovp);
+            }
+            IntentKind::Free if multi_version => {
+                // A multi-version free preserves history exactly as an
+                // update does: the slot becomes a tombstone anchoring the
+                // old-version chain, and is reclaimed by the GC sweep once
+                // the safe point passes `new_ts`.
+                held.slot.install_tombstone_and_unlock(new_ts, ovp);
+                group.region_handle.note_tombstone(intent.addr, new_ts);
+            }
+            IntentKind::Free => {
+                held.slot.clear();
+                let _ = group.region_handle.free(intent.addr);
+            }
+            IntentKind::Alloc => unreachable!("allocs take no lock"),
+        }
+    }
+    // Initialize objects newly allocated at this destination.
+    for &gi in group_idxs {
+        let group = &plan.groups[gi];
+        for intent in group.intents.iter().filter(|i| i.kind == IntentKind::Alloc) {
+            if let Ok(slot) = group.region_handle.slot(intent.addr) {
+                let ts = if baseline { 1 } else { write_ts };
+                slot.initialize(ts, intent.data.clone());
+            }
+        }
+    }
+    // Return slots of objects allocated and freed by the same transaction
+    // (they were never visible).
+    for &addr in cancelled {
+        if let Ok((_p, region)) = engine.primary_region_of(addr) {
+            let _ = region.free(addr);
+        }
+    }
+    max_version
+}
+
+/// TRUNCATE processing for one backup destination: mirror every group's
+/// installed intents into the backup's replica.
+fn truncate_at_backup(
+    engine: &NodeEngine,
+    plan: &CommitPlan,
+    slab_sizes: &[Option<Vec<usize>>],
+    backup: NodeId,
+    write_ts: u64,
+) {
+    for (group, sizes) in plan.groups.iter().zip(slab_sizes) {
+        let Some(sizes) = sizes else {
+            continue;
+        };
+        if !group.backups.contains(&backup) {
+            continue;
+        }
+        let replica = engine.cluster().node(backup).regions().ensure(group.region);
+        for (intent, &slab_size) in group.intents.iter().zip(sizes) {
+            if slab_size == 0 {
+                continue;
+            }
+            let slab = replica.ensure_slab(intent.addr.slab, slab_size);
+            let Ok(slot) = slab.slot(intent.addr.slot) else {
+                continue;
+            };
+            match intent.kind {
+                IntentKind::Free => slot.clear(),
+                _ => slot.initialize(write_ts, intent.data.clone()),
+            }
+        }
+    }
+}
+
+/// Object sizes (slab size classes) of a group's intents at the primary,
+/// used to mirror the slab layout at backups. 0 marks unresolvable slots.
+fn slab_sizes_of(engine: &NodeEngine, group: &super::plan::RegionGroup) -> Option<Vec<usize>> {
+    let region = engine
+        .cluster()
+        .node(group.primary)
+        .regions()
+        .get(group.region)?;
+    Some(
+        group
+            .intents
+            .iter()
+            .map(|i| {
+                region
+                    .slab(i.addr.slab)
+                    .map(|s| s.object_size())
+                    .unwrap_or(0)
+            })
+            .collect(),
+    )
 }

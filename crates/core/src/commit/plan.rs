@@ -226,6 +226,19 @@ impl CommitPlan {
             .collect()
     }
 
+    /// The plan's region groups keyed by destination primary, ascending by
+    /// node id, each destination's group indices ascending (== ascending
+    /// address order within the destination). This is the fan-out unit of
+    /// the pipelined commit phases: one completion-set verb per entry.
+    pub fn groups_by_primary(&self) -> Vec<(NodeId, Vec<usize>)> {
+        let mut by_primary: std::collections::BTreeMap<NodeId, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            by_primary.entry(g.primary).or_default().push(gi);
+        }
+        by_primary.into_iter().collect()
+    }
+
     /// Message-level view of the LOCK phase: one batch per destination
     /// primary, ascending by node id. A destination whose intents are all
     /// allocs sends no LOCK message and is omitted.

@@ -4,8 +4,22 @@
 //! (write-set lock loop, free-set lock loop, validation, and the baseline's
 //! versions of each). The driver routes **every** phase failure through this
 //! one function: release every lock acquired so far — across all destination
-//! primaries, in reverse acquisition order — roll the transaction's
+//! primaries, in descending global address order — roll the transaction's
 //! allocations back, and tally the abort against the phase that failed.
+//!
+//! # Fan-out invariant
+//!
+//! Under pipelined dispatch a LOCK phase has verbs in flight to several
+//! destinations at once when one of them fails. The driver **drains every
+//! in-flight sibling before unwinding** (a [`farm_net::CompletionSet`]
+//! never short-circuits), merges all destinations' acquired locks, and
+//! sorts them into ascending global address order — so by the time this
+//! function runs, `locked` is exactly the set of locks the whole fan-out
+//! acquired, and releasing it in reverse releases in descending global
+//! address order, whatever order the destinations completed in. Old
+//! versions copied for locks that are being unwound were never linked into
+//! a version chain (their GC time is still 0), so they are reclaimed with
+//! their block and can never appear as tombstoned history.
 
 use std::sync::Arc;
 

@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 
 use farm_kernel::{Cluster, NodeHandle, RecoveryHooks};
 use farm_memory::{Addr, Region, RegionId};
-use farm_net::{LatencyModel, NodeId, OneSidedMeter};
+use farm_net::{NodeId, OneSidedMeter};
 use parking_lot::Mutex;
 
 use crate::active::{ActiveToken, ActiveTxTable};
@@ -64,7 +64,7 @@ impl NodeEngine {
         // read timestamp (Figure 9), computed by a wait-free slot scan.
         let active_for_oat = Arc::clone(&active);
         handle.set_oat_provider(Arc::new(move || active_for_oat.oat()));
-        let meter = OneSidedMeter::new(Arc::clone(handle.stats()), LatencyModel::zero());
+        let meter = OneSidedMeter::new(Arc::clone(handle.stats()), config.latency);
         Arc::new(NodeEngine {
             id,
             cluster,

@@ -84,6 +84,18 @@ impl EngineMode {
 pub struct EngineConfig {
     /// Engine variant.
     pub mode: EngineMode,
+    /// How the commit driver and `read_many` dispatch their per-destination
+    /// message batches: serially (one destination at a time, `Σ latency` per
+    /// phase — the pre-pipelining behavior, kept for A/B benchmarking) or
+    /// through a completion set (`max latency` per phase, with the
+    /// serializable uncertainty wait overlapping COMMIT-BACKUP). The default
+    /// is [`farm_net::DispatchMode::Concurrent`].
+    pub dispatch: farm_net::DispatchMode,
+    /// Injected wire latency for one-sided verbs and RPCs. Zero (the
+    /// default) for raw-throughput runs; [`farm_net::LatencyModel::datacenter`]
+    /// for latency-composition experiments like Figure 13 and the commit
+    /// pipeline bench.
+    pub latency: farm_net::LatencyModel,
     /// Whether committed read-write transactions additionally append an
     /// operation-log record to `replication` in-memory logs (Section 5.6's
     /// NAM-DB-style configuration). Data replication is skipped in that mode.
@@ -107,6 +119,8 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             mode: EngineMode::farmv2_single_version(),
+            dispatch: farm_net::DispatchMode::Concurrent,
+            latency: farm_net::LatencyModel::zero(),
             operation_logging: false,
             read_lock_retries: 100,
             op_log_capacity: 65_536,

@@ -23,6 +23,11 @@ pub struct EngineStats {
     pub write_wait_ns: AtomicU64,
     /// Number of commit-time uncertainty waits.
     pub write_waits: AtomicU64,
+    /// Nanoseconds of commit-time uncertainty wait performed **while
+    /// COMMIT-BACKUP replication was in flight** (the Figure 4 overlap):
+    /// a subset of `write_wait_ns`. Serial dispatch never overlaps, so this
+    /// stays 0 there; under pipelined dispatch it approaches `write_wait_ns`.
+    pub write_wait_overlapped_ns: AtomicU64,
     /// Old versions allocated.
     pub old_versions_allocated: AtomicU64,
     /// Old-version reads that had to walk the version chain.
@@ -85,6 +90,8 @@ pub struct EngineStatsSnapshot {
     pub write_wait_ns: u64,
     /// Number of write waits.
     pub write_waits: u64,
+    /// Write-wait nanoseconds overlapped with in-flight replication.
+    pub write_wait_overlapped_ns: u64,
     /// Old versions allocated.
     pub old_versions_allocated: u64,
     /// Chain-walking reads.
@@ -131,6 +138,7 @@ impl EngineStats {
             aborts_oldver_memory: self.aborts_oldver_memory.load(Ordering::Relaxed),
             write_wait_ns: self.write_wait_ns.load(Ordering::Relaxed),
             write_waits: self.write_waits.load(Ordering::Relaxed),
+            write_wait_overlapped_ns: self.write_wait_overlapped_ns.load(Ordering::Relaxed),
             old_versions_allocated: self.old_versions_allocated.load(Ordering::Relaxed),
             old_version_reads: self.old_version_reads.load(Ordering::Relaxed),
             oldver_blocks: self.oldver_blocks.load(Ordering::Relaxed),
@@ -234,6 +242,8 @@ impl EngineStatsSnapshot {
             aborts_oldver_memory: self.aborts_oldver_memory - earlier.aborts_oldver_memory,
             write_wait_ns: self.write_wait_ns - earlier.write_wait_ns,
             write_waits: self.write_waits - earlier.write_waits,
+            write_wait_overlapped_ns: self.write_wait_overlapped_ns
+                - earlier.write_wait_overlapped_ns,
             old_versions_allocated: self.old_versions_allocated - earlier.old_versions_allocated,
             old_version_reads: self.old_version_reads - earlier.old_version_reads,
             oldver_blocks: self.oldver_blocks - earlier.oldver_blocks,
@@ -265,6 +275,8 @@ impl EngineStatsSnapshot {
             aborts_oldver_memory: self.aborts_oldver_memory + other.aborts_oldver_memory,
             write_wait_ns: self.write_wait_ns + other.write_wait_ns,
             write_waits: self.write_waits + other.write_waits,
+            write_wait_overlapped_ns: self.write_wait_overlapped_ns
+                + other.write_wait_overlapped_ns,
             old_versions_allocated: self.old_versions_allocated + other.old_versions_allocated,
             old_version_reads: self.old_version_reads + other.old_version_reads,
             oldver_blocks: self.oldver_blocks + other.oldver_blocks,

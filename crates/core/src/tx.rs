@@ -224,6 +224,13 @@ impl Transaction {
     /// doorbell-batched read message is metered per distinct primary, however
     /// many objects it carries. Results are returned in input order.
     ///
+    /// The per-primary read messages ride a [`farm_net::CompletionSet`]:
+    /// under pipelined dispatch (the default) every destination's message is
+    /// in flight simultaneously and the call pays the *maximum* destination
+    /// latency, not the sum — a multi-primary multiget costs `max` like the
+    /// fan-out of a real coordinator, with the per-destination traversals
+    /// running inside the verbs' work closures.
+    ///
     /// Per-slot fallbacks match [`Transaction::read`]: buffered writes are
     /// served locally, locked slots are retried with bounded backoff
     /// (individually — the rest of the batch is unaffected), and too-new or
@@ -231,6 +238,7 @@ impl Transaction {
     /// whose primary is the coordinator's own machine skip network metering
     /// entirely (local bypass).
     pub fn read_many(&mut self, addrs: &[Addr]) -> Result<Vec<Bytes>, TxError> {
+        let started = std::time::Instant::now();
         let mut out: Vec<Option<Bytes>> = vec![None; addrs.len()];
         // Group the cache misses by region, ascending (deterministic order,
         // shared with the commit plan).
@@ -242,43 +250,81 @@ impl Transaction {
                 by_region.entry(addr.region).or_default().push(i);
             }
         }
-        // Snapshot every region group in one traversal each, accumulating
-        // message accounting per destination primary: several regions with
-        // the same primary share one doorbell-batched read message.
-        let mut per_primary: BTreeMap<farm_net::NodeId, (u64, usize)> = BTreeMap::new();
-        let mut pending: Vec<(
+        // Resolve routing at the coordinator: several regions with the same
+        // primary share one doorbell-batched read message (one verb).
+        type RegionBatch = (Arc<farm_memory::Region>, Vec<usize>);
+        let mut by_primary: BTreeMap<farm_net::NodeId, Vec<RegionBatch>> = BTreeMap::new();
+        for (_region_id, idxs) in by_region {
+            let probe = addrs[idxs[0]];
+            let (primary, region) = self.engine.primary_region_of(probe)?;
+            by_primary.entry(primary).or_default().push((region, idxs));
+        }
+        // One verb per destination primary; its work closure performs the
+        // destination's region traversals (in that destination's fixed
+        // region/index order, so completions can be re-associated positionally
+        // below), so under threaded dispatch they genuinely overlap.
+        let engine = Arc::clone(&self.engine);
+        let mut set: farm_net::CompletionSet<'_, (Vec<ConsistentRead>, usize)> =
+            farm_net::CompletionSet::new(engine.meter.latency_model());
+        for (&primary, groups) in &by_primary {
+            let work = move || {
+                let mut results = Vec::new();
+                let mut bytes = 0usize;
+                for (region, idxs) in groups {
+                    let batch: Vec<Addr> = idxs.iter().map(|&i| addrs[i]).collect();
+                    for result in region.read_consistent_batch(&batch) {
+                        bytes += 64
+                            + match &result {
+                                ConsistentRead::Value { data, .. } => data.len(),
+                                _ => 0,
+                            };
+                        results.push(result);
+                    }
+                }
+                (results, bytes)
+            };
+            if primary == engine.id() {
+                set.issue_local(primary, work);
+            } else {
+                set.issue(primary, farm_net::Verb::RdmaRead, work);
+            }
+        }
+        let completions = set.complete(engine.config().dispatch, Some(engine.meter.stats()));
+        // One metered message per remote primary; local batches bypass the
+        // network. Both count toward the engine-level batching statistics.
+        // Completions return in issue order — the `by_primary` iteration
+        // order — so each one zips positionally with its destination's
+        // (region, indices) batches; no per-address routing map is needed.
+        type Pending = (
             usize,
             farm_net::NodeId,
             Arc<farm_memory::Region>,
             ConsistentRead,
-        )> = Vec::with_capacity(addrs.len());
-        for (_region_id, idxs) in by_region {
-            let probe = addrs[idxs[0]];
-            let (primary, region) = self.engine.primary_region_of(probe)?;
-            let batch: Vec<Addr> = idxs.iter().map(|&i| addrs[i]).collect();
-            let results = region.read_consistent_batch(&batch);
-            let entry = per_primary.entry(primary).or_insert((0, 0));
-            for (&i, result) in idxs.iter().zip(results) {
-                entry.0 += 1;
-                entry.1 += 64
-                    + match &result {
-                        ConsistentRead::Value { data, .. } => data.len(),
-                        _ => 0,
-                    };
-                pending.push((i, primary, Arc::clone(&region), result));
-            }
-        }
-        // One metered message per remote primary; local batches bypass the
-        // network. Both count toward the engine-level batching statistics.
-        for (&primary, &(ops, bytes)) in &per_primary {
-            EngineStats::bump(&self.engine.stats.read_batches);
-            EngineStats::add(&self.engine.stats.read_batch_objects, ops);
-            if primary == self.engine.id() {
-                EngineStats::add(&self.engine.stats.read_local_bypass, ops);
+        );
+        let mut pending: Vec<Pending> = Vec::with_capacity(addrs.len());
+        for (completion, (&primary, groups)) in completions.into_iter().zip(&by_primary) {
+            debug_assert_eq!(completion.dest, primary, "completions follow issue order");
+            let (results, bytes) = completion.value;
+            let ops = results.len() as u64;
+            EngineStats::bump(&engine.stats.read_batches);
+            EngineStats::add(&engine.stats.read_batch_objects, ops);
+            if primary == engine.id() {
+                EngineStats::add(&engine.stats.read_local_bypass, ops);
             } else {
-                self.engine.meter.read_batch(ops, bytes);
+                engine.meter.read_batch_deferred(ops, bytes);
+            }
+            let mut results = results.into_iter();
+            for (region, idxs) in groups {
+                for &i in idxs {
+                    let result = results.next().expect("one result per batched address");
+                    pending.push((i, primary, Arc::clone(region), result));
+                }
             }
         }
+        engine.meter.stats().phases().record(
+            farm_net::PhaseLabel::ReadMany,
+            started.elapsed().as_nanos() as u64,
+        );
         // Admit each slot's snapshot, applying the per-slot fallbacks.
         for (i, primary, region, result) in pending {
             let addr = addrs[i];

@@ -414,3 +414,47 @@ fn commit_driver_is_the_public_commit_surface() {
         let _ = tx.commit();
     };
 }
+
+/// A transaction that only allocates and frees the same object produces a
+/// plan with no region groups — only a cancelled allocation. The commit
+/// must still return the pre-allocated slot to its slab (a leak here
+/// exhausts the region under alloc+free churn).
+#[test]
+fn cancelled_alloc_with_no_other_intents_returns_its_slot() {
+    let engine = engine(EngineConfig::default());
+    // Use a region whose primary is NOT the coordinator, so the cancelled
+    // allocation's primary has no other reason to appear in the commit
+    // fan-out.
+    let coordinator = NodeId(0);
+    let region = engine
+        .cluster()
+        .regions()
+        .into_iter()
+        .find(|&r| engine.cluster().primary_of(r) != Some(coordinator))
+        .unwrap();
+    let primary = engine.cluster().primary_of(region).unwrap();
+    let replica = engine.cluster().node(primary).regions().ensure(region);
+    let node = engine.node(coordinator);
+    // Warm up the slab so occupancy comparisons see a stable layout.
+    let mut tx = node.begin();
+    let keep = tx.alloc_in(region, vec![0u8; 16]).unwrap();
+    tx.commit().unwrap();
+    let (used_before, free_before) = replica.occupancy();
+    for _ in 0..64 {
+        let mut tx = node.begin();
+        let addr = tx.alloc_in(region, vec![1u8; 16]).unwrap();
+        tx.free(addr).unwrap();
+        tx.commit().unwrap();
+    }
+    let (used_after, free_after) = replica.occupancy();
+    assert_eq!(
+        (used_before, free_before),
+        (used_after, free_after),
+        "alloc+free churn leaked cancelled-allocation slots"
+    );
+    // The kept object is untouched.
+    let mut tx = node.begin();
+    assert_eq!(tx.read(keep).unwrap().as_ref(), &[0u8; 16]);
+    tx.commit().unwrap();
+    engine.shutdown();
+}

@@ -6,12 +6,30 @@
 //! (e.g. the throughput/latency curve of Figure 13) the harness can configure
 //! a [`LatencyModel`]; for raw-throughput experiments it uses
 //! [`LatencyModel::zero`], which compiles down to a no-op.
+//!
+//! Latency can be paid in two ways:
+//!
+//! * **Inline** ([`LatencyModel::apply_read`] and friends): the caller blocks
+//!   for the verb's full latency before continuing — the serial dispatch
+//!   model, where a phase touching K destinations pays `K × latency`.
+//! * **Deadline-based** ([`LatencyModel::verb_ns`] +
+//!   [`LatencyModel::wait_until`]): the caller computes a completion deadline
+//!   per verb at issue time and blocks **once**, at the latest deadline —
+//!   the completion-queue model used by [`crate::CompletionSet`], where a
+//!   phase fanning out to K destinations pays `max(latency)` like a real
+//!   coordinator waiting on its NIC completion queue.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Fixed per-verb latencies injected by busy-waiting (for sub-10µs values)
-/// or sleeping (for larger values).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+use crate::Verb;
+
+/// Waits at or above this many nanoseconds sleep; shorter waits spin (with
+/// periodic yields). See [`LatencyModel::spin_threshold_ns`].
+pub const DEFAULT_SPIN_THRESHOLD_NS: u64 = 20_000;
+
+/// Fixed per-verb latencies injected by busy-waiting (for short values)
+/// or sleeping (for values at or above the spin threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Latency of a one-sided RDMA read, in nanoseconds.
     pub rdma_read_ns: u64,
@@ -19,6 +37,23 @@ pub struct LatencyModel {
     pub rdma_write_ns: u64,
     /// Latency of a two-sided RPC (one way), in nanoseconds.
     pub rpc_ns: u64,
+    /// Waits of at least this many nanoseconds sleep instead of spinning.
+    /// Shorter waits busy-spin, yielding the CPU periodically so that a
+    /// host with fewer cores than simulated in-flight verbs still makes
+    /// progress. The old behavior (spin up to 100 µs, monopolizing a core
+    /// per waiter) is recovered by setting this to `100_000`.
+    pub spin_threshold_ns: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            rdma_read_ns: 0,
+            rdma_write_ns: 0,
+            rpc_ns: 0,
+            spin_threshold_ns: DEFAULT_SPIN_THRESHOLD_NS,
+        }
+    }
 }
 
 impl LatencyModel {
@@ -34,41 +69,77 @@ impl LatencyModel {
             rdma_read_ns: 2_500,
             rdma_write_ns: 3_000,
             rpc_ns: 7_000,
+            ..Default::default()
+        }
+    }
+
+    /// The configured latency of one verb, in nanoseconds. (Hardware acks
+    /// are covered by the write-to-ack latency and cost nothing extra.)
+    #[inline]
+    pub fn verb_ns(&self, verb: Verb) -> u64 {
+        match verb {
+            Verb::RdmaRead => self.rdma_read_ns,
+            Verb::RdmaWrite => self.rdma_write_ns,
+            Verb::HardwareAck => 0,
+            Verb::Rpc => self.rpc_ns,
         }
     }
 
     /// Injects the read latency.
     #[inline]
     pub fn apply_read(&self) {
-        busy_wait(self.rdma_read_ns);
+        busy_wait(self.rdma_read_ns, self.spin_threshold_ns);
     }
 
     /// Injects the write latency.
     #[inline]
     pub fn apply_write(&self) {
-        busy_wait(self.rdma_write_ns);
+        busy_wait(self.rdma_write_ns, self.spin_threshold_ns);
     }
 
     /// Injects the RPC latency.
     #[inline]
     pub fn apply_rpc(&self) {
-        busy_wait(self.rpc_ns);
+        busy_wait(self.rpc_ns, self.spin_threshold_ns);
+    }
+
+    /// Blocks until `deadline` has passed (no-op if it already has) — the
+    /// single per-phase wait of the deadline-based accounting model.
+    pub fn wait_until(&self, deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                return;
+            };
+            busy_wait(remaining.as_nanos() as u64, self.spin_threshold_ns);
+        }
     }
 }
 
-/// Busy-waits for small durations, sleeps for large ones, does nothing for 0.
+/// Busy-waits for small durations (yielding periodically so co-scheduled
+/// waiters on small hosts still run), sleeps for durations at or above
+/// `spin_threshold_ns`, does nothing for 0.
 #[inline]
-fn busy_wait(ns: u64) {
+fn busy_wait(ns: u64, spin_threshold_ns: u64) {
     if ns == 0 {
         return;
     }
-    if ns >= 100_000 {
+    if ns >= spin_threshold_ns {
         std::thread::sleep(Duration::from_nanos(ns));
         return;
     }
-    let start = std::time::Instant::now();
+    let start = Instant::now();
+    let mut spins = 0u32;
     while (start.elapsed().as_nanos() as u64) < ns {
-        std::hint::spin_loop();
+        spins += 1;
+        if spins.is_multiple_of(256) {
+            // Let another simulated participant (worker thread, co-located
+            // coordinator) run; a dedicated core pays ~100 ns per yield,
+            // an oversubscribed one avoids a whole scheduling quantum.
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
     }
 }
 
@@ -93,8 +164,7 @@ mod tests {
     fn nonzero_model_actually_waits() {
         let m = LatencyModel {
             rdma_read_ns: 200_000,
-            rdma_write_ns: 0,
-            rpc_ns: 0,
+            ..Default::default()
         };
         let start = std::time::Instant::now();
         m.apply_read();
@@ -106,5 +176,36 @@ mod tests {
         let m = LatencyModel::datacenter();
         assert!(m.rdma_read_ns < m.rpc_ns);
         assert!(m.rdma_write_ns < m.rpc_ns);
+        assert_eq!(m.verb_ns(Verb::RdmaRead), m.rdma_read_ns);
+        assert_eq!(m.verb_ns(Verb::RdmaWrite), m.rdma_write_ns);
+        assert_eq!(m.verb_ns(Verb::Rpc), m.rpc_ns);
+        assert_eq!(m.verb_ns(Verb::HardwareAck), 0);
+    }
+
+    #[test]
+    fn wait_until_blocks_until_deadline() {
+        let m = LatencyModel::datacenter();
+        let start = Instant::now();
+        let deadline = start + Duration::from_micros(100);
+        m.wait_until(deadline);
+        assert!(start.elapsed() >= Duration::from_micros(100));
+        // A deadline already in the past returns immediately.
+        let start = Instant::now();
+        m.wait_until(start - Duration::from_micros(1));
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spin_threshold_is_configurable() {
+        // A threshold of 0 forces the sleep path even for tiny waits; the
+        // wait must still cover the requested duration.
+        let m = LatencyModel {
+            rdma_read_ns: 50_000,
+            spin_threshold_ns: 0,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        m.apply_read();
+        assert!(start.elapsed() >= Duration::from_micros(50));
     }
 }

@@ -27,16 +27,21 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod completion;
 mod fault;
 mod latency;
 mod network;
 mod stats;
 mod worker;
 
+pub use completion::{Completion, CompletionSet, DispatchMode};
 pub use fault::FaultPlane;
 pub use latency::LatencyModel;
 pub use network::{Envelope, NetError, Network, NodeInbox};
-pub use stats::{NetStats, NetStatsSnapshot, Verb};
+pub use stats::{
+    NetStats, NetStatsSnapshot, PhaseHistogram, PhaseHistogramSnapshot, PhaseLabel, Verb,
+    PHASE_LABELS,
+};
 pub use worker::WorkerPool;
 
 use std::fmt;
@@ -146,6 +151,42 @@ impl OneSidedMeter {
     pub fn rpc_batch(&self, ops: u64, bytes: usize) {
         self.stats.record_batch(Verb::Rpc, ops, bytes);
         self.latency.apply_rpc();
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred accounting (completion-queue dispatch)
+    // ------------------------------------------------------------------
+    //
+    // The `*_deferred` variants record the message without injecting any
+    // latency: the verb's flight time is owned by the `CompletionSet` that
+    // carries it (one deadline wait per phase, however many messages the
+    // phase fans out).
+
+    /// Records one batched read message; latency deferred to the carrier
+    /// completion set.
+    #[inline]
+    pub fn read_batch_deferred(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::RdmaRead, ops, bytes);
+    }
+
+    /// Records one batched write message; latency deferred to the carrier
+    /// completion set.
+    #[inline]
+    pub fn write_batch_deferred(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::RdmaWrite, ops, bytes);
+    }
+
+    /// Records one batched two-sided message; latency deferred to the
+    /// carrier completion set.
+    #[inline]
+    pub fn rpc_batch_deferred(&self, ops: u64, bytes: usize) {
+        self.stats.record_batch(Verb::Rpc, ops, bytes);
+    }
+
+    /// The latency model this meter injects, for building completion sets
+    /// that pay the same wire costs.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
     }
 
     /// The underlying statistics sink.
