@@ -9,11 +9,24 @@
 //! `max latency`, and the serializable write-timestamp uncertainty wait
 //! overlaps COMMIT-BACKUP replication as in Figure 4 of the paper).
 //!
+//! With early-ack commit completion (the fan-out default) the measured
+//! latency is the **critical path only**: `commit` returns when every
+//! COMMIT-BACKUP is acked, installs drain in the background, and TRUNCATE is
+//! piggybacked as a watermark on later verbs — the per-row
+//! `standalone_truncate_msgs` column must stay 0 under this traffic.
+//!
+//! A second sweep (`--pipeline-depth N`, default 8) measures single-thread
+//! committed-transaction throughput at pipeline depths 1..=N: one worker
+//! keeps up to `depth` disjoint write transactions in their critical paths
+//! through [`farm_core::CommitPipeline`], so throughput scales toward
+//! `depth / max-phase-latency` instead of `1 / commit-latency`.
+//!
 //! Emits `BENCH_commit_pipeline.json` with p50/p99 commit latencies, the
 //! per-phase wall-clock histograms (the overlap evidence: under fan-out the
 //! `acquire_write_ts` phase collapses to ~0 and its wait reappears inside
 //! `replicate_backups`, bounded by `max` rather than added), the overlapped
-//! fraction of the uncertainty wait, and the in-flight verb high-water mark.
+//! fraction of the uncertainty wait, the in-flight verb high-water mark,
+//! and the pipeline-depth throughput rows.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,15 +49,35 @@ struct Row {
     write_wait_mean_us: f64,
     overlapped_frac: f64,
     max_inflight: u64,
+    /// Standalone TRUNCATE messages sent during the measured window (must
+    /// be 0 under fan-out: truncation piggybacks on protocol verbs).
+    truncate_standalone: u64,
+    /// Piggybacked truncation watermark deliveries during the window.
+    truncate_piggybacked: u64,
     phases: Vec<(PhaseLabel, f64, f64, f64)>, // (label, mean, p50, p99) µs
 }
 
+/// One pipeline-depth throughput measurement (single worker thread).
+struct PipelineRow {
+    depth: usize,
+    txns_per_sec: f64,
+    p50_us: f64,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_depth: usize = args
+        .iter()
+        .position(|a| a == "--pipeline-depth")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
     // Scale iteration count off the shared duration knob so CI can shorten
     // the run (default ~1.5 s per configuration at datacenter latencies).
     let iters = ((bench_duration(1.5).as_secs_f64() * 200.0) as usize).clamp(30, 2_000);
     let mut rows: Vec<Row> = Vec::new();
-    println!("isolation,dispatch,primaries,backups,p50_us,p99_us,mean_us,write_wait_mean_us,overlapped_frac,max_inflight");
+    println!("isolation,dispatch,primaries,backups,p50_us,p99_us,mean_us,write_wait_mean_us,overlapped_frac,max_inflight,truncate_standalone,truncate_piggybacked");
     for (iso_name, opts) in [
         ("serializable", TxOptions::serializable()),
         ("snapshot_isolation", TxOptions::snapshot_isolation()),
@@ -56,7 +89,7 @@ fn main() {
             for primaries in [1usize, 2, 4] {
                 let row = run_config(iso_name, opts, dispatch_name, dispatch, primaries, iters);
                 println!(
-                    "{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.3},{}",
+                    "{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.3},{},{},{}",
                     row.isolation,
                     row.dispatch,
                     row.primaries,
@@ -66,15 +99,136 @@ fn main() {
                     row.mean_us,
                     row.write_wait_mean_us,
                     row.overlapped_frac,
-                    row.max_inflight
+                    row.max_inflight,
+                    row.truncate_standalone,
+                    row.truncate_piggybacked
                 );
                 rows.push(row);
             }
         }
     }
-    let json = to_json(&rows, iters);
+    let depths: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&d| d <= max_depth)
+        .collect();
+    println!("pipeline_depth,txns_per_sec,p50_us");
+    let pipeline_rows: Vec<PipelineRow> = depths
+        .into_iter()
+        .map(|depth| {
+            let row = run_pipeline_depth(depth);
+            println!("{},{:.0},{:.1}", row.depth, row.txns_per_sec, row.p50_us);
+            row
+        })
+        .collect();
+    let json = to_json(&rows, &pipeline_rows, iters);
     std::fs::write("BENCH_commit_pipeline.json", &json).expect("write BENCH_commit_pipeline.json");
     eprintln!("wrote BENCH_commit_pipeline.json");
+}
+
+/// Single-thread committed-txns/sec at one pipeline depth: one worker keeps
+/// `depth` disjoint single-primary write transactions in flight under
+/// datacenter latency. Addresses cycle through a pool much larger than the
+/// depth, so a reused object's previous commit has long completed (and its
+/// install, if still pending, is resolved by helping).
+///
+/// Depth 1 is the **synchronous baseline** — one `commit()` at a time, the
+/// `1 / commit-latency` bound the pipeline exists to break. Transactions
+/// are non-strict serializable (read snapshot at the interval lower bound,
+/// no begin wait; the commit-time uncertainty wait is unchanged and still
+/// overlaps replication), the configuration FaRM uses when per-thread
+/// throughput is the goal.
+fn run_pipeline_depth(depth: usize) -> PipelineRow {
+    let cluster_cfg = ClusterConfig {
+        nodes: 6,
+        replication: 3,
+        regions_per_node: 1,
+        auto_control: true,
+        control_interval: std::time::Duration::from_micros(500),
+        ..ClusterConfig::default()
+    };
+    let engine_cfg = EngineConfig {
+        dispatch: DispatchMode::Concurrent,
+        latency: LatencyModel::datacenter(),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start_cluster(cluster_cfg, engine_cfg);
+    let coordinator = NodeId(0);
+    let node = engine.node(coordinator);
+    let region = pick_regions(&engine, coordinator, 1)[0];
+
+    const POOL: usize = 128;
+    let mut setup = node.begin();
+    let pool: Vec<Addr> = (0..POOL)
+        .map(|_| setup.alloc_in(region, vec![0u8; 64]).unwrap())
+        .collect();
+    setup.commit().unwrap();
+    node.drain_pending_installs();
+    let opts = TxOptions::serializable_non_strict();
+    // Pre-built payloads: the measured loop clones `Bytes` (refcount) rather
+    // than allocating a fresh vector per transaction.
+    let payloads: Vec<bytes::Bytes> = (0..16u8).map(|v| bytes::Bytes::from(vec![v; 64])).collect();
+
+    // Warmup.
+    let mut pipeline = node.pipeline(depth);
+    for &addr in pool.iter().take(2 * depth.max(4)) {
+        let mut tx = node.begin_with(opts);
+        tx.overwrite(addr, payloads[0].clone()).unwrap();
+        pipeline.submit(tx);
+    }
+    pipeline.drain();
+
+    let duration = bench_duration(1.0);
+    let start = Instant::now();
+    let mut submitted = 0usize;
+    let mut committed = 0u64;
+    let mut lat_us: Vec<f64> = Vec::new();
+    let mut submit_times: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    while start.elapsed() < duration {
+        let addr = pool[submitted % POOL];
+        let mut tx = node.begin_with(opts);
+        tx.overwrite(addr, payloads[submitted % 16].clone())
+            .unwrap();
+        submitted += 1;
+        if depth == 1 {
+            // Synchronous baseline: the thread pays the whole critical path.
+            let t = Instant::now();
+            if tx.commit().is_ok() {
+                committed += 1;
+                lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+            }
+            continue;
+        }
+        submit_times.push_back(Instant::now());
+        pipeline.submit(tx);
+        for result in pipeline.take() {
+            let t = submit_times.pop_front().expect("one submit per result");
+            if result.is_ok() {
+                committed += 1;
+                lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+            }
+        }
+    }
+    for result in pipeline.drain() {
+        let t = submit_times.pop_front().expect("one submit per result");
+        if result.is_ok() {
+            committed += 1;
+            lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = if lat_us.is_empty() {
+        0.0
+    } else {
+        lat_us[(lat_us.len() - 1) / 2]
+    };
+    engine.shutdown();
+    engine.cluster().shutdown();
+    PipelineRow {
+        depth,
+        txns_per_sec: committed as f64 / elapsed,
+        p50_us: p50,
+    }
 }
 
 /// Picks `primaries` regions with distinct primaries, none of them the
@@ -200,6 +354,8 @@ fn run_config(
         write_wait_mean_us: delta.mean_write_wait_ns() / 1_000.0,
         overlapped_frac,
         max_inflight,
+        truncate_standalone: delta.truncate_batches,
+        truncate_piggybacked: delta.truncations_piggybacked,
         phases: phase_rows,
     };
     engine.shutdown();
@@ -216,7 +372,7 @@ fn cluster_phase_snapshot(engine: &Arc<Engine>) -> PhaseHistogramSnapshot {
 }
 
 /// Hand-rolled JSON (the workspace builds offline; no serde).
-fn to_json(rows: &[Row], iters: usize) -> String {
+fn to_json(rows: &[Row], pipeline_rows: &[PipelineRow], iters: usize) -> String {
     let find = |iso: &str, dispatch: &str, primaries: usize| {
         rows.iter()
             .find(|r| r.isolation == iso && r.dispatch == dispatch && r.primaries == primaries)
@@ -250,7 +406,8 @@ fn to_json(rows: &[Row], iters: usize) -> String {
                 "    {{\"isolation\": \"{}\", \"dispatch\": \"{}\", \"primaries\": {}, \
                  \"backups\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
                  \"write_wait_mean_us\": {:.2}, \"write_wait_overlapped_frac\": {:.3}, \
-                 \"max_inflight_verbs\": {},\n      \"phases\": [\n{}\n      ]}}",
+                 \"max_inflight_verbs\": {}, \"standalone_truncate_msgs\": {}, \
+                 \"piggybacked_truncations\": {},\n      \"phases\": [\n{}\n      ]}}",
                 r.isolation,
                 r.dispatch,
                 r.primaries,
@@ -261,24 +418,56 @@ fn to_json(rows: &[Row], iters: usize) -> String {
                 r.write_wait_mean_us,
                 r.overlapped_frac,
                 r.max_inflight,
+                r.truncate_standalone,
+                r.truncate_piggybacked,
                 phases.join(",\n")
             )
         })
         .collect();
+    let pipeline_json: Vec<String> = pipeline_rows
+        .iter()
+        .map(|r| {
+            let base = pipeline_rows
+                .first()
+                .map(|b| b.txns_per_sec)
+                .unwrap_or(0.0)
+                .max(f64::MIN_POSITIVE);
+            format!(
+                "    {{\"depth\": {}, \"txns_per_sec\": {:.0}, \"p50_us\": {:.1}, \
+                 \"speedup_vs_depth_1\": {:.2}}}",
+                r.depth,
+                r.txns_per_sec,
+                r.p50_us,
+                r.txns_per_sec / base
+            )
+        })
+        .collect();
+    let fanout_standalone_truncates: u64 = rows
+        .iter()
+        .filter(|r| r.dispatch == "fanout")
+        .map(|r| r.truncate_standalone)
+        .sum();
     format!(
         "{{\n  \"benchmark\": \"bench_commit_pipeline\",\n  \
          \"latency_model\": \"datacenter (rdma_read 2.5us, rdma_write 3us, rpc 7us)\",\n  \
          \"nodes\": 6,\n  \"replication\": 3,\n  \"iters_per_config\": {},\n  \
          \"host_cpus\": {},\n  \
          \"note\": \"serial = pre-fan-out per-destination dispatch (sum of latencies per \
-         phase); fanout = completion-queue dispatch (max latency per phase, serializable \
-         uncertainty wait overlapped with COMMIT-BACKUP — see the acquire_write_ts phase \
-         collapse and write_wait_overlapped_frac)\",\n  \
+         phase, synchronous install+truncate); fanout = completion-queue dispatch with \
+         early-ack commit completion: the measured latency is the critical path (LOCK / \
+         write-ts / VALIDATE / COMMIT-BACKUP, uncertainty wait overlapped — see \
+         acquire_write_ts collapse and write_wait_overlapped_frac), COMMIT-PRIMARY installs \
+         drain in the background and TRUNCATE rides later verbs as a piggybacked watermark \
+         (standalone_truncate_msgs stays 0). pipeline_throughput = one worker thread \
+         keeping `depth` disjoint single-primary write txns in their critical paths via \
+         Engine::pipeline(depth)\",\n  \
          \"rows\": [\n{}\n  ],\n  \
          \"speedup_p50_serializable\": {{\"1_primary\": {:.2}, \"2_primary\": {:.2}, \
          \"4_primary\": {:.2}}},\n  \
          \"speedup_p50_snapshot_isolation\": {{\"1_primary\": {:.2}, \"2_primary\": {:.2}, \
-         \"4_primary\": {:.2}}}\n}}\n",
+         \"4_primary\": {:.2}}},\n  \
+         \"fanout_standalone_truncate_msgs\": {},\n  \
+         \"pipeline_throughput\": [\n{}\n  ]\n}}\n",
         iters,
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -290,5 +479,7 @@ fn to_json(rows: &[Row], iters: usize) -> String {
         speedup("snapshot_isolation", 1),
         speedup("snapshot_isolation", 2),
         speedup("snapshot_isolation", 4),
+        fanout_standalone_truncates,
+        pipeline_json.join(",\n"),
     )
 }

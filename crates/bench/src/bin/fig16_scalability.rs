@@ -229,14 +229,19 @@ fn sweep_json(rows: &[SweepRow], duration: Duration, table_ns: f64, mutex_map_ns
          \"engine\": \"farmv2 single-version, strict serializable\",\n  \
          \"note\": \"baseline rows re-add the seed's node-global Mutex<BTreeMap> \
          active-tx critical sections; parallel speedup requires >= as many host \
-         CPUs as coordinator threads. The occupancy-skip OAT scan plus periodic \
-         yields in the uncertainty-wait spin removed the 4/8-thread deficit vs \
-         the mutex baseline (0.906/0.904 before); on hosts with fewer cores \
-         than threads the remaining gap is scheduler noise (the baseline runs \
-         the full engine too), so expect speedup_vs_global_mutex ~1.0 +/- 0.05 \
-         there and real separation only with dedicated cores. The slot-table \
-         structure cost includes the per-shard occupancy counters (two extra \
-         uncontended atomics per begin/finish) that buy the O(threads) scan\",\n  \
+         CPUs as coordinator threads, so expect speedup_vs_global_mutex ~1.0 \
+         +/- 0.05 on small hosts and real separation only with dedicated \
+         cores. The former 2-thread dip (speedup_vs_1_thread 0.798 while ~0.99 \
+         at 4) was the slave-clock strict-wait spin: thread 1 runs on node 1, \
+         whose uncertainty waits are ~2x the master's (~2us), and those waits \
+         spun without ever reaching the old 1-in-128 yield — burning the \
+         shared core for half of every begin while thread 0 starved; with 4+ \
+         threads the spins hid behind each other. NodeClock::wait_until_past \
+         now yields every iteration while >= 1us of wall-clock wait remains \
+         (donating the quantum costs the waiter nothing), which restored the \
+         2-thread point to ~1.0 on this 1-CPU host. The slot-table structure \
+         cost includes the per-shard occupancy counters (two extra uncontended \
+         atomics per begin/finish) that buy the O(threads) scan\",\n  \
          \"results\": [\n{}\n  ],\n  \"peak_speedup_vs_1_thread\": {:.3},\n  \
          \"structure_ns_per_begin_finish\": {{\"slot_table\": {:.1}, \
          \"mutex_btreemap\": {:.1}, \"speedup\": {:.2}}}\n}}\n",

@@ -325,12 +325,20 @@ impl NodeClock {
                 std::thread::sleep(Duration::from_nanos(remaining / 2));
             } else {
                 spins += 1;
-                if spins.is_multiple_of(128) {
-                    // Sub-threshold waits spin, but on a host with fewer
-                    // cores than waiters an unbroken spin stalls the very
-                    // threads whose progress advances the interval; a
-                    // periodic yield keeps oversubscribed sweeps (fig16 at
-                    // 4–8 coordinator threads per core) from collapsing.
+                // Sub-threshold waits spin, but on a host with fewer cores
+                // than waiters an unbroken spin stalls the very threads
+                // whose progress advances the interval. Waits with ≥ 1 µs
+                // remaining yield **every** iteration — the wait is wall
+                // clock, so a donated quantum costs the waiter nothing and
+                // lets a co-scheduled coordinator commit meanwhile (an
+                // uncontended yield returns in ~100 ns, so dedicated cores
+                // lose little). Only the sub-microsecond tail spins, with a
+                // periodic yield as a backstop. Without the eager yield, a
+                // slave node's ~2 µs uncertainty waits never reached the
+                // old 1-in-128 yield at all (each loop iteration spans tens
+                // of nanoseconds), which is what sank the fig16 2-thread
+                // point on single-core hosts.
+                if remaining > 1_000 || spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();

@@ -4,19 +4,59 @@
 //! through the net crate's completion-queue abstraction
 //! ([`CompletionSet`]).
 //!
+//! # The three-stage commit lifecycle
+//!
+//! With [`EngineConfig::early_ack`](crate::EngineConfig::early_ack) (the
+//! default for pipelined FaRMv2 dispatch) a commit is split into:
+//!
+//! 1. **Critical path** — `Lock → AcquireWriteTs → Validate →
+//!    ReplicateBackups`. The transaction is durably committed once every
+//!    COMMIT-BACKUP is acked, so the driver finishes there and the caller
+//!    gets its result: COMMIT-PRIMARY messages are *posted* (metered,
+//!    fire-and-forget) but not waited for.
+//! 2. **Background install** — the held locks, plan and write timestamp move
+//!    into a [`PendingInstall`](super::backlog::PendingInstall) on the
+//!    engine's backlog, drained opportunistically (at the next `begin`, in
+//!    pipeline dead time, by the background thread). A reader — or a locker,
+//!    or a validator — that hits a still-locked slot of a durable
+//!    transaction **helps complete that destination's install** instead of
+//!    backing off or aborting.
+//! 3. **Lazy truncation** — TRUNCATE is no longer a standalone message: once
+//!    all of a coordinator's transactions at or below some write timestamp
+//!    have installed, that `truncate_below` watermark piggybacks on the next
+//!    outgoing LOCK / VALIDATE / COMMIT-BACKUP verb to each destination
+//!    (with a timed flush for idle connections), and delivery *applies* the
+//!    backup's redo-log records to its replica.
+//!
+//! Under [`DispatchMode::Serial`] (the A/B baseline), in baseline mode, and
+//! in operation-logging mode the driver keeps the fully synchronous phase
+//! order `... → InstallPrimary → Truncate → [OperationLog] → Done`.
+//!
+//! # Resumable stepping
+//!
+//! Every phase is split into an *issue* half (meter the messages, run the
+//! destination-side work closures, note the completion deadline) and a
+//! *finish* half (act on the results). [`CommitDriver::advance`] runs
+//! finish-issue pairs until it either completes or must wait for a deadline,
+//! which it **returns instead of blocking on** — that is what lets a
+//! [`CommitPipeline`](crate::CommitPipeline) keep several transactions in
+//! their critical paths at once on one thread, multiplexing their verb
+//! completions. The plain [`CommitDriver::run`] used by
+//! [`Transaction::commit`](crate::Transaction::commit) is just
+//! `advance`-then-wait in a loop.
+//!
 //! Phase order (serializable):
-//! `Lock → AcquireWriteTs → Validate → ReplicateBackups → InstallPrimary →
-//! Truncate → OperationLog → Done`. Under pipelined dispatch the
-//! write-timestamp **uncertainty wait is deferred**: `AcquireWriteTs` only
-//! takes the interval's upper bound, and the wait runs while the
-//! COMMIT-BACKUP writes are in flight (Figure 4) — the commit pays
+//! `Lock → AcquireWriteTs → Validate → ReplicateBackups → ...`. Under
+//! pipelined dispatch the write-timestamp **uncertainty wait is deferred**:
+//! `AcquireWriteTs` only takes the interval's upper bound, and the wait runs
+//! while the COMMIT-BACKUP writes are in flight (Figure 4) — the commit pays
 //! `max(uncertainty, replication)` instead of their sum.
 //!
 //! Phase order (snapshot isolation): validation is skipped and the
 //! write-timestamp acquisition itself rides the replication flight window:
-//! `Lock → ReplicateBackups (acquiring the write timestamp in-flight) →
-//! InstallPrimary → Truncate → OperationLog → Done`. (Serial dispatch keeps
-//! the PR-1 order `Lock → ReplicateBackups → AcquireWriteTs → ...`.)
+//! `Lock → ReplicateBackups (acquiring the write timestamp in-flight) → ...`.
+//! (Serial dispatch keeps the PR-1 order `Lock → ReplicateBackups →
+//! AcquireWriteTs → ...`.)
 //!
 //! Phase order (baseline): no timestamps; every read is validated:
 //! `Lock → Validate → ReplicateBackups → InstallPrimary → Truncate → Done`.
@@ -39,13 +79,16 @@ use std::time::Instant;
 
 use farm_clock::TsMode;
 use farm_memory::{Addr, LockOutcome, ObjectSlot, OldAddr, OldVersion};
-use farm_net::{CompletionSet, DispatchMode, NodeId, PhaseLabel, Verb};
+use farm_net::{Completion, CompletionSet, DispatchMode, NodeId, PhaseLabel, Verb};
 
+use crate::active::ActiveToken;
 use crate::engine::{NodeEngine, OpLogRecord};
 use crate::error::{AbortReason, TxError};
 use crate::opts::{EngineMode, IsolationLevel, MvPolicy, TxOptions};
 use crate::stats::EngineStats;
+use crate::tx::CommitInfo;
 
+use super::backlog::{LogEntry, PendingInstall, RecordIntent};
 use super::plan::{CommitPlan, IntentKind};
 use super::unwind::unwind;
 
@@ -58,7 +101,8 @@ pub enum CommitPhase {
     Lock,
     /// COMMIT-BACKUP: one RDMA write per backup destination, NIC-acked. In
     /// pipelined dispatch the write-timestamp uncertainty wait (and, for SI,
-    /// the acquisition itself) runs while these writes are in flight.
+    /// the acquisition itself) runs while these writes are in flight. With
+    /// early-ack the commit **completes** at the end of this phase.
     ReplicateBackups,
     /// Acquire the write timestamp. Under pipelined serializable dispatch
     /// only the upper bound is taken here; the uncertainty wait is deferred
@@ -68,8 +112,10 @@ pub enum CommitPhase {
     /// every read).
     Validate,
     /// COMMIT-PRIMARY: one batched install message per destination primary.
+    /// Skipped (moved to the background backlog) under early-ack.
     InstallPrimary,
-    /// TRUNCATE: backups apply the new versions.
+    /// TRUNCATE: backups apply the new versions. Skipped (replaced by the
+    /// piggybacked watermark) under early-ack.
     Truncate,
     /// Optional operation-log append (Section 5.6).
     OperationLog,
@@ -115,17 +161,40 @@ struct DestLockOutcome {
     failure: Option<(Addr, AbortReason)>,
 }
 
-/// What `step` decides after executing one phase.
+/// What `finish_phase` decides after acting on one phase's results.
 enum Step {
     /// Move to the next phase.
     Next(CommitPhase),
     /// The commit is complete with this outcome (baseline read-only commits
-    /// finish straight out of validation).
+    /// finish straight out of validation; early-ack commits finish out of
+    /// replication).
     Finish(Option<u64>),
 }
 
+/// The stashed results of an issued-but-not-finished phase.
+enum Pending {
+    Lock(Vec<Completion<DestLockOutcome>>),
+    AcquireWriteTs,
+    Validate(Vec<Completion<Option<Addr>>>),
+    Replicate,
+    Install(Vec<Completion<u64>>),
+    Truncate,
+    OperationLog,
+}
+
+/// What [`CommitDriver::advance`] hands back to its scheduler.
+pub(crate) enum DriverStep {
+    /// The current phase's verbs are in flight until `deadline`; call
+    /// `advance` again once it has passed (the driver never blocks itself).
+    Wait(Instant),
+    /// The commit reached a terminal state; all bookkeeping (active-table
+    /// withdrawal, statistics, unwind on the error path) is done.
+    Finished(Result<CommitInfo, TxError>),
+}
+
 /// The commit driver; built by [`Transaction::commit`](crate::Transaction),
-/// consumed by [`CommitDriver::run`].
+/// consumed by [`CommitDriver::run`] or stepped by a
+/// [`CommitPipeline`](crate::CommitPipeline).
 pub struct CommitDriver {
     engine: Arc<NodeEngine>,
     opts: TxOptions,
@@ -137,7 +206,14 @@ pub struct CommitDriver {
     locked: Vec<HeldLock>,
     write_ts: u64,
     baseline: bool,
+    si: bool,
     dispatch: DispatchMode,
+    /// Whether this commit completes at the end of ReplicateBackups, leaving
+    /// installs and truncation to the backlog (stages 2 and 3).
+    early_ack: bool,
+    /// Registration of this transaction in the engine's active table,
+    /// withdrawn exactly once when the driver seals.
+    active: ActiveToken,
     /// Whether the write timestamp has been acquired (pipelined SI folds the
     /// acquisition into the ReplicateBackups flight window).
     ts_acquired: bool,
@@ -145,10 +221,21 @@ pub struct CommitDriver {
     /// dispatch): the upper bound taken in `AcquireWriteTs`, waited out while
     /// COMMIT-BACKUP is in flight.
     deferred_wait_target: Option<u64>,
+    /// Whether `write_ts` is reserved in the coordinator's truncation
+    /// in-flight set (early-ack only; withdrawn on install completion or
+    /// abort).
+    trunc_registered: bool,
+    /// Results of the phase currently in flight.
+    pending: Option<Pending>,
+    /// When the in-flight phase was issued (phase histogram).
+    phase_started: Option<Instant>,
+    /// Terminal bookkeeping has run; disarms the abandoned-driver `Drop`.
+    completed: bool,
 }
 
 impl CommitDriver {
-    /// Builds a driver over an already-built plan.
+    /// Builds a driver over an already-built plan. The driver owns the
+    /// transaction's active-table registration from here on.
     pub(crate) fn new(
         engine: Arc<NodeEngine>,
         opts: TxOptions,
@@ -156,9 +243,16 @@ impl CommitDriver {
         read_set: HashMap<Addr, u64>,
         alloc_set: Vec<Addr>,
         plan: CommitPlan,
+        active: ActiveToken,
     ) -> CommitDriver {
-        let baseline = engine.config().mode.is_baseline();
-        let dispatch = engine.config().dispatch;
+        let config = engine.config();
+        let baseline = config.mode.is_baseline();
+        let dispatch = config.dispatch;
+        let si = !baseline && opts.isolation == IsolationLevel::SnapshotIsolation;
+        let early_ack = config.early_ack
+            && !baseline
+            && !config.operation_logging
+            && dispatch != DispatchMode::Serial;
         CommitDriver {
             engine,
             opts,
@@ -170,9 +264,16 @@ impl CommitDriver {
             locked: Vec::new(),
             write_ts: 0,
             baseline,
+            si,
             dispatch,
+            early_ack,
+            active,
             ts_acquired: false,
             deferred_wait_target: None,
+            trunc_registered: false,
+            pending: None,
+            phase_started: None,
+            completed: false,
         }
     }
 
@@ -187,61 +288,129 @@ impl CommitDriver {
         self.dispatch != DispatchMode::Serial
     }
 
-    /// Drives the state machine to completion. Returns the write timestamp,
-    /// or `None` for a baseline read-only commit (which only validates). On
-    /// error every acquired lock has been released and every allocation
-    /// rolled back. Each phase's wall-clock is recorded in the node's
-    /// [`farm_net::PhaseHistogram`], abort or not.
-    pub(crate) fn run(mut self) -> Result<Option<u64>, TxError> {
-        let si = !self.baseline && self.opts.isolation == IsolationLevel::SnapshotIsolation;
+    /// Drives the state machine to completion, blocking on each phase's
+    /// completion deadline. Each phase's wall-clock is recorded in the
+    /// node's [`farm_net::PhaseHistogram`], abort or not. On error every
+    /// acquired lock has been released and every allocation rolled back.
+    pub(crate) fn run(mut self) -> Result<CommitInfo, TxError> {
+        let model = self.engine.meter.latency_model();
         loop {
-            let current = self.phase;
-            if current == CommitPhase::Done {
-                return Ok(Some(self.write_ts));
-            }
-            let started = Instant::now();
-            let step = self.step(current, si);
-            self.engine
-                .meter
-                .stats()
-                .phases()
-                .record(phase_label(current), started.elapsed().as_nanos() as u64);
-            match step? {
-                Step::Next(next) => self.phase = next,
-                Step::Finish(outcome) => return Ok(outcome),
+            match self.advance() {
+                DriverStep::Wait(deadline) => model.wait_until(deadline),
+                DriverStep::Finished(result) => return result,
             }
         }
     }
 
-    /// Executes one phase and decides the next.
-    fn step(&mut self, phase: CommitPhase, si: bool) -> Result<Step, TxError> {
-        Ok(match phase {
-            CommitPhase::Lock => {
-                self.phase_lock()?;
+    /// Makes all progress possible without blocking: finishes the phase
+    /// whose deadline the caller waited out, then issues phases until one
+    /// has a future completion deadline (returned as [`DriverStep::Wait`])
+    /// or the commit reaches a terminal state.
+    pub(crate) fn advance(&mut self) -> DriverStep {
+        loop {
+            if let Some(pending) = self.pending.take() {
+                let phase = self.phase;
+                let started = self.phase_started.take().expect("issued phases are timed");
+                let result = self.finish_phase(pending);
+                self.engine
+                    .meter
+                    .stats()
+                    .phases()
+                    .record(phase_label(phase), started.elapsed().as_nanos() as u64);
+                match result {
+                    Ok(Step::Next(next)) => self.phase = next,
+                    Ok(Step::Finish(outcome)) => {
+                        return DriverStep::Finished(self.seal(Ok(outcome)))
+                    }
+                    Err(e) => return DriverStep::Finished(self.seal(Err(e))),
+                }
+            }
+            if self.phase == CommitPhase::Done {
+                let write_ts = self.write_ts;
+                return DriverStep::Finished(self.seal(Ok(Some(write_ts))));
+            }
+            self.phase_started = Some(Instant::now());
+            match self.issue_phase() {
+                Ok(Some(deadline)) => return DriverStep::Wait(deadline),
+                Ok(None) => continue, // completes immediately; finish above
+                Err(e) => {
+                    let phase = self.phase;
+                    let started = self.phase_started.take().expect("just set");
+                    self.engine
+                        .meter
+                        .stats()
+                        .phases()
+                        .record(phase_label(phase), started.elapsed().as_nanos() as u64);
+                    return DriverStep::Finished(self.seal(Err(e)));
+                }
+            }
+        }
+    }
+
+    /// Terminal bookkeeping, run exactly once: withdraw the active-table
+    /// registration, tally the commit, and shape the caller-facing result.
+    fn seal(&mut self, outcome: Result<Option<u64>, TxError>) -> Result<CommitInfo, TxError> {
+        self.completed = true;
+        self.engine.unregister_active(self.active);
+        match outcome {
+            Ok(Some(write_ts)) => {
+                EngineStats::bump(&self.engine.stats.commits_rw);
+                Ok(CommitInfo {
+                    read_ts: if self.baseline { 0 } else { self.read_ts },
+                    write_ts: Some(write_ts),
+                })
+            }
+            Ok(None) => {
+                // Baseline read-only commit: validated, nothing installed.
+                EngineStats::bump(&self.engine.stats.commits_ro);
+                Ok(CommitInfo {
+                    read_ts: 0,
+                    write_ts: None,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Issues one phase: meters its messages, runs the destination-side work
+    /// closures, stashes the results in `self.pending`, and returns the
+    /// completion deadline (None when every verb completes immediately).
+    fn issue_phase(&mut self) -> Result<Option<Instant>, TxError> {
+        Ok(match self.phase {
+            CommitPhase::Lock => self.issue_lock(),
+            CommitPhase::AcquireWriteTs => self.issue_acquire_write_ts(),
+            CommitPhase::Validate => self.issue_validate()?,
+            CommitPhase::ReplicateBackups => self.issue_replicate_backups(),
+            CommitPhase::InstallPrimary => self.issue_install_primary(),
+            CommitPhase::Truncate => self.issue_truncate(),
+            CommitPhase::OperationLog => self.issue_operation_log(),
+            CommitPhase::Done => unreachable!("advance() returns before issuing Done"),
+        })
+    }
+
+    /// Acts on one issued phase's results and picks the next phase.
+    fn finish_phase(&mut self, pending: Pending) -> Result<Step, TxError> {
+        Ok(match pending {
+            Pending::Lock(outcomes) => {
+                self.finish_lock(outcomes)?;
                 Step::Next(if self.baseline {
                     CommitPhase::Validate
-                } else if si {
+                } else if self.si {
                     CommitPhase::ReplicateBackups
                 } else {
                     CommitPhase::AcquireWriteTs
                 })
             }
-            CommitPhase::AcquireWriteTs => {
-                if self.pipelined() && !si {
-                    // Serializable pipeline: take the upper bound now and
-                    // wait out the uncertainty while COMMIT-BACKUP flies.
-                    self.defer_write_ts();
-                } else {
-                    self.acquire_write_ts(si, false);
+            Pending::AcquireWriteTs => Step::Next(if self.si {
+                CommitPhase::InstallPrimary
+            } else {
+                CommitPhase::Validate
+            }),
+            Pending::Validate(completions) => {
+                let failure = completions.into_iter().filter_map(|c| c.value).min();
+                if let Some(addr) = failure {
+                    return Err(self.abort(AbortReason::ValidationFailed(addr)));
                 }
-                Step::Next(if si {
-                    CommitPhase::InstallPrimary
-                } else {
-                    CommitPhase::Validate
-                })
-            }
-            CommitPhase::Validate => {
-                self.phase_validate()?;
                 if self.baseline && self.plan.is_empty() && self.plan.cancelled_allocs.is_empty() {
                     // Baseline read-only transactions stop after validating
                     // every read (FaRMv1 has no snapshots).
@@ -249,36 +418,60 @@ impl CommitDriver {
                 }
                 Step::Next(CommitPhase::ReplicateBackups)
             }
-            CommitPhase::ReplicateBackups => {
-                self.phase_replicate_backups(si);
-                Step::Next(if !self.baseline && si && !self.ts_acquired {
-                    // Serial SI keeps the PR-1 order: acquire after the
-                    // replication latency has been paid.
-                    CommitPhase::AcquireWriteTs
+            Pending::Replicate => {
+                if let Some(target) = self.deferred_wait_target.take() {
+                    // Residual deferred uncertainty wait — normally zero,
+                    // the phase deadline already covered it (issue folded
+                    // the estimate in). Completing it here, before the
+                    // install (or install enqueue) below, is what keeps
+                    // writes unexposed until the timestamp is in the past:
+                    // strictness is preserved.
+                    let clock = Arc::clone(self.engine.handle().clock());
+                    let waited = clock.complete_deferred_wait(target);
+                    self.record_write_wait(waited, true);
+                }
+                if self.early_ack {
+                    // The transaction is durable: every COMMIT-BACKUP is
+                    // acked. Post COMMIT-PRIMARY, hand the installs to the
+                    // backlog, and report success — stages 2 and 3 run in
+                    // the background.
+                    self.early_ack_finish()
                 } else {
-                    CommitPhase::InstallPrimary
-                })
+                    Step::Next(if !self.baseline && self.si && !self.ts_acquired {
+                        // Serial SI keeps the PR-1 order: acquire after the
+                        // replication latency has been paid.
+                        CommitPhase::AcquireWriteTs
+                    } else {
+                        CommitPhase::InstallPrimary
+                    })
+                }
             }
-            CommitPhase::InstallPrimary => {
-                self.phase_install_primary();
+            Pending::Install(completions) => {
+                if self.baseline {
+                    // Baseline "timestamps" are per-object version counters;
+                    // the commit reports the largest one it installed.
+                    self.write_ts = completions.iter().map(|c| c.value).max().unwrap_or(0);
+                }
+                self.locked.clear();
                 Step::Next(CommitPhase::Truncate)
             }
-            CommitPhase::Truncate => {
-                self.phase_truncate();
-                Step::Next(
-                    if !self.baseline && self.engine.config().operation_logging {
-                        CommitPhase::OperationLog
-                    } else {
-                        CommitPhase::Done
-                    },
-                )
-            }
-            CommitPhase::OperationLog => {
-                self.phase_operation_log();
-                Step::Next(CommitPhase::Done)
-            }
-            CommitPhase::Done => unreachable!("run() returns before stepping Done"),
+            Pending::Truncate => Step::Next(
+                if !self.baseline && self.engine.config().operation_logging {
+                    CommitPhase::OperationLog
+                } else {
+                    CommitPhase::Done
+                },
+            ),
+            Pending::OperationLog => Step::Next(CommitPhase::Done),
         })
+    }
+
+    /// Piggybacks the coordinator's truncation watermark on an outgoing verb
+    /// to `dest` (stage 3 of the lifecycle: zero standalone messages).
+    fn piggyback(&self, dest: NodeId) {
+        self.engine
+            .backlog()
+            .deliver_truncation(&self.engine, dest, false);
     }
 
     // ------------------------------------------------------------------
@@ -286,13 +479,10 @@ impl CommitDriver {
     // ------------------------------------------------------------------
 
     /// Sends one LOCK batch per destination primary — **all destinations at
-    /// once** under pipelined dispatch — and collects every destination's
-    /// acquired locks into ascending global address order. Primary-side LOCK
-    /// processing (batch lock acquisition, multi-version old-version copies)
-    /// runs inside the per-destination verb closures. The whole transaction
-    /// unwinds on the first conflict; in-flight sibling destinations are
-    /// always drained first, so their locks are released too.
-    fn phase_lock(&mut self) -> Result<(), TxError> {
+    /// once** under pipelined dispatch. Primary-side LOCK processing (batch
+    /// lock acquisition, multi-version old-version copies) runs inside the
+    /// per-destination verb closures.
+    fn issue_lock(&mut self) -> Option<Instant> {
         let engine = Arc::clone(&self.engine);
         let stats = &engine.stats;
         // Message accounting: one two-sided LOCK message per destination.
@@ -316,6 +506,7 @@ impl CommitDriver {
             if lockable.is_empty() {
                 continue; // Alloc-only destination: no LOCK message.
             }
+            self.piggyback(primary);
             let work = move || lock_at_destination(engine_ref, plan, &lockable, mode);
             if primary == engine.id() {
                 // The LOCK message is still metered above (it is a protocol
@@ -327,11 +518,16 @@ impl CommitDriver {
                 set.issue(primary, Verb::Rpc, work);
             }
         }
-        let outcomes = set.complete(self.dispatch, Some(engine.meter.stats()));
-        // Merge every destination's locks (failed destinations included:
-        // partially acquired batches must unwind too) and pick the failure
-        // with the smallest global address, so the abort reason is
-        // deterministic whatever order the destinations completed in.
+        let (outcomes, deadline) = set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
+        self.pending = Some(Pending::Lock(outcomes));
+        deadline
+    }
+
+    /// Merges every destination's locks (failed destinations included:
+    /// partially acquired batches must unwind too) and picks the failure
+    /// with the smallest global address, so the abort reason is
+    /// deterministic whatever order the destinations completed in.
+    fn finish_lock(&mut self, outcomes: Vec<Completion<DestLockOutcome>>) -> Result<(), TxError> {
         let mut failure: Option<(Addr, AbortReason)> = None;
         for completion in outcomes {
             let outcome = completion.value;
@@ -369,6 +565,7 @@ impl CommitDriver {
         if self.engine.config().unsafe_skip_write_wait {
             let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
             self.write_ts = ts.as_nanos();
+            self.register_trunc();
             return;
         }
         let mode = if si && !self.opts.strict {
@@ -379,24 +576,41 @@ impl CommitDriver {
         let (ts, waited) = clock.get_ts(mode);
         self.record_write_wait(waited, overlapped);
         self.write_ts = ts.as_nanos();
+        self.register_trunc();
     }
 
     /// Pipelined serializable acquisition: take the interval's upper bound
     /// **without waiting** and remember it; the uncertainty wait happens in
-    /// `phase_replicate_backups`, overlapping the COMMIT-BACKUP flight
-    /// window (Figure 4). Writes are still only exposed (InstallPrimary)
-    /// after the wait completes, so strictness is preserved.
+    /// the ReplicateBackups phase, overlapping the COMMIT-BACKUP flight
+    /// window (Figure 4). Writes are still only exposed (installed) after
+    /// the wait completes, so strictness is preserved.
     fn defer_write_ts(&mut self) {
         let clock = Arc::clone(self.engine.handle().clock());
         self.ts_acquired = true;
         if self.engine.config().unsafe_skip_write_wait {
             let (ts, _) = clock.get_ts(TsMode::NonStrictUpper);
             self.write_ts = ts.as_nanos();
+            self.register_trunc();
             return;
         }
         let ts = clock.get_ts_deferred();
         self.write_ts = ts.as_nanos();
         self.deferred_wait_target = Some(ts.as_nanos());
+        self.register_trunc();
+    }
+
+    /// Reserves the freshly acquired write timestamp in the coordinator's
+    /// truncation in-flight set (early-ack only). Doing it at acquisition —
+    /// before any backup record can exist — guarantees the `truncate_below`
+    /// watermark never overtakes a transaction whose record is still being
+    /// deposited.
+    fn register_trunc(&mut self) {
+        if self.early_ack && !self.trunc_registered {
+            self.trunc_registered = true;
+            self.engine
+                .backlog()
+                .trunc_begin(self.engine.id(), self.write_ts);
+        }
     }
 
     fn record_write_wait(&self, waited: u64, overlapped: bool) {
@@ -407,6 +621,20 @@ impl CommitDriver {
                 EngineStats::add(&self.engine.stats.write_wait_overlapped_ns, waited);
             }
         }
+    }
+
+    /// Local-only phase: acquire (or, pipelined serializable, defer) the
+    /// write timestamp. Completes immediately.
+    fn issue_acquire_write_ts(&mut self) -> Option<Instant> {
+        if self.pipelined() && !self.si {
+            // Serializable pipeline: take the upper bound now and wait out
+            // the uncertainty while COMMIT-BACKUP flies.
+            self.defer_write_ts();
+        } else {
+            self.acquire_write_ts(self.si, false);
+        }
+        self.pending = Some(Pending::AcquireWriteTs);
+        None
     }
 
     // ------------------------------------------------------------------
@@ -420,22 +648,36 @@ impl CommitDriver {
     /// read — including those of read-only transactions — against the exact
     /// version observed. The failure reported is the smallest failing
     /// address, whatever order the destinations completed in.
-    fn phase_validate(&mut self) -> Result<(), TxError> {
-        let written: std::collections::HashSet<Addr> = self
-            .plan
-            .groups
-            .iter()
-            .flat_map(|g| g.intents.iter().map(|i| i.addr))
-            .collect();
+    fn issue_validate(&mut self) -> Result<Option<Instant>, TxError> {
+        // Written reads need no validation. Small plans (the common
+        // OLTP case) probe the plan directly instead of materializing a
+        // hash set per commit.
+        let small = self.plan.total_intents() <= 16;
+        let written: std::collections::HashSet<Addr> = if small {
+            std::collections::HashSet::new()
+        } else {
+            self.plan
+                .groups
+                .iter()
+                .flat_map(|g| g.intents.iter().map(|i| i.addr))
+                .collect()
+        };
+        let is_written = |addr: Addr| {
+            if small {
+                self.plan.touches(addr)
+            } else {
+                written.contains(&addr)
+            }
+        };
         // Group the unwritten reads by destination primary, ascending by
         // address within each group (deterministic first-failure reporting),
         // carrying each address's resolved region so the validation closure
         // does not re-resolve it.
-        type Pending = (Addr, u64, Arc<farm_memory::Region>);
-        let mut by_primary: std::collections::BTreeMap<NodeId, Vec<Pending>> =
+        type Unvalidated = (Addr, u64, Arc<farm_memory::Region>);
+        let mut by_primary: std::collections::BTreeMap<NodeId, Vec<Unvalidated>> =
             std::collections::BTreeMap::new();
         for (&addr, &observed) in &self.read_set {
-            if written.contains(&addr) {
+            if is_written(addr) {
                 continue;
             }
             let Ok((primary, region)) = self.engine.primary_region_of(addr) else {
@@ -453,6 +695,7 @@ impl CommitDriver {
         let stats = &engine.stats;
         let baseline = self.baseline;
         let read_ts = self.read_ts;
+        let engine_ref: &NodeEngine = &engine;
         let mut set: CompletionSet<'_, Option<Addr>> =
             CompletionSet::new(engine.meter.latency_model());
         for (&primary, entries) in &by_primary {
@@ -461,7 +704,8 @@ impl CommitDriver {
             // that primary (local bypass).
             EngineStats::bump(&stats.validate_batches);
             EngineStats::add(&stats.validate_batch_objects, entries.len() as u64);
-            let work = move || validate_at_destination(entries, baseline, read_ts);
+            self.piggyback(primary);
+            let work = move || validate_at_destination(engine_ref, entries, baseline, read_ts);
             if primary == engine.id() {
                 EngineStats::add(&stats.read_local_bypass, entries.len() as u64);
                 set.issue_local(primary, work);
@@ -472,15 +716,10 @@ impl CommitDriver {
                 set.issue(primary, Verb::RdmaRead, work);
             }
         }
-        let failure = set
-            .complete(self.dispatch, Some(engine.meter.stats()))
-            .into_iter()
-            .filter_map(|c| c.value)
-            .min();
-        match failure {
-            Some(addr) => Err(self.abort(AbortReason::ValidationFailed(addr))),
-            None => Ok(()),
-        }
+        let (completions, deadline) =
+            set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
+        self.pending = Some(Pending::Validate(completions));
+        Ok(deadline)
     }
 
     // ------------------------------------------------------------------
@@ -494,37 +733,157 @@ impl CommitDriver {
     /// serializable uncertainty wait, or the whole SI acquisition — the
     /// Figure 4 overlap. The phase then costs
     /// `max(replication, uncertainty)` instead of their sum.
-    fn phase_replicate_backups(&mut self, si: bool) {
+    fn issue_replicate_backups(&mut self) -> Option<Instant> {
         let engine = Arc::clone(&self.engine);
         let mut set: CompletionSet<'_, ()> = CompletionSet::new(engine.meter.latency_model());
         for (node, ops, bytes) in self.plan.backup_destinations() {
             engine.meter.write_batch_deferred(ops, bytes);
             engine.meter.ack();
             EngineStats::bump(&engine.stats.backup_batches);
+            self.piggyback(node);
             if node == engine.id() {
                 set.issue_local(node, || ());
             } else {
                 set.issue(node, Verb::RdmaWrite, || ());
             }
         }
+        let mut wait_deadline: Option<Instant> = None;
         if self.pipelined() && !self.baseline {
             let overlapped = !set.is_empty();
             if !self.ts_acquired {
                 // Pipelined SI: the acquisition (and its wait, for strict
                 // SI) rides the replication flight window.
-                self.acquire_write_ts(si, overlapped);
-            } else if let Some(target) = self.deferred_wait_target.take() {
-                // Pipelined serializable: complete the deferred wait.
-                let clock = Arc::clone(engine.handle().clock());
-                let waited = clock.complete_deferred_wait(target);
-                self.record_write_wait(waited, overlapped);
+                self.acquire_write_ts(self.si, overlapped);
+            } else if let Some(&target) = self.deferred_wait_target.as_ref() {
+                // Pipelined serializable: the deferred uncertainty wait is
+                // **folded into the phase deadline** rather than spun out
+                // inline — a pipeline thread stays free to advance its
+                // other flights, and the phase still costs
+                // `max(replication, uncertainty)`. The residual (normally
+                // zero: the deadline covers it) is completed in
+                // `finish_replicate` before any install can expose the
+                // write, so strictness is preserved.
+                let clock = engine.handle().clock();
+                let remaining = clock
+                    .time_unchecked()
+                    .map(|i| target.saturating_sub(i.lower))
+                    .unwrap_or(0);
+                if remaining > 0 {
+                    wait_deadline =
+                        Some(Instant::now() + std::time::Duration::from_nanos(remaining));
+                    self.record_write_wait(remaining, overlapped);
+                }
             }
         }
-        set.complete(self.dispatch, Some(engine.meter.stats()));
+        let (_, flight_deadline) = set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
+        self.pending = Some(Pending::Replicate);
+        match (flight_deadline, wait_deadline) {
+            (Some(flight), Some(wait)) => Some(flight.max(wait)),
+            (deadline, None) | (None, deadline) => deadline,
+        }
+    }
+
+    /// Completes an early-acked commit: materialize the COMMIT-BACKUP
+    /// records in the backup redo logs (they are durable now — every ack
+    /// drained), post the COMMIT-PRIMARY messages (metered, fire-and-forget),
+    /// initialize this transaction's allocations eagerly (they carry no lock,
+    /// so helpers could not finish them), and hand the held locks to the
+    /// backlog as a [`PendingInstall`].
+    fn early_ack_finish(&mut self) -> Step {
+        let engine = Arc::clone(&self.engine);
+        let write_ts = self.write_ts;
+        let multi_version = engine.config().mode.is_multi_version();
+        // Backup redo-log records: one entry per backup destination holding
+        // that destination's intents, with the primary's slab size classes
+        // resolved so the backup can mirror the layout.
+        let slab_sizes: Vec<Option<Vec<usize>>> = self
+            .plan
+            .groups
+            .iter()
+            .map(|g| slab_sizes_of(&engine, g))
+            .collect();
+        let mut per_backup: Vec<(NodeId, Vec<RecordIntent>)> = Vec::new();
+        for (group, sizes) in self.plan.groups.iter().zip(&slab_sizes) {
+            let Some(sizes) = sizes else {
+                // The primary's region is gone (e.g. dropped after a kill):
+                // nothing to mirror.
+                continue;
+            };
+            for &backup in &group.backups {
+                let records = match per_backup.iter_mut().find(|(n, _)| *n == backup) {
+                    Some((_, records)) => records,
+                    None => {
+                        per_backup.push((backup, Vec::with_capacity(group.intents.len())));
+                        &mut per_backup.last_mut().expect("just pushed").1
+                    }
+                };
+                for (intent, &slab_size) in group.intents.iter().zip(sizes) {
+                    records.push(RecordIntent {
+                        addr: intent.addr,
+                        free: intent.kind == IntentKind::Free,
+                        data: intent.data.clone(),
+                        slab_size,
+                    });
+                }
+            }
+        }
+        for (backup, intents) in per_backup {
+            engine.backlog().deposit(
+                backup,
+                LogEntry {
+                    coordinator: engine.id(),
+                    write_ts,
+                    intents,
+                },
+            );
+        }
+        // COMMIT-PRIMARY is posted now (the messages are on the wire, hence
+        // metered) but never awaited: their destination-side processing is
+        // the backlog's job.
+        for (_node, ops, bytes) in self.plan.primary_destinations() {
+            engine.meter.write_batch_deferred(ops, bytes);
+            EngineStats::bump(&engine.stats.primary_batches);
+        }
+        // Allocations initialize eagerly: fresh slots are invisible (not
+        // locked) until initialized, so a reader could not help them the way
+        // it helps locked updates.
+        for group in &self.plan.groups {
+            for intent in group.intents.iter().filter(|i| i.kind == IntentKind::Alloc) {
+                if let Ok(slot) = group.region_handle.slot(intent.addr) {
+                    slot.initialize(write_ts, intent.data.clone());
+                }
+            }
+        }
+        for &addr in &self.plan.cancelled_allocs {
+            if let Ok((_p, region)) = engine.primary_region_of(addr) {
+                let _ = region.free(addr);
+            }
+        }
+        // Hand the held locks to the backlog. The truncation reservation
+        // transfers with them: it is withdrawn (raising the watermark) when
+        // the last destination installs.
+        let plan = std::mem::replace(
+            &mut self.plan,
+            CommitPlan {
+                groups: Vec::new(),
+                cancelled_allocs: Vec::new(),
+            },
+        );
+        let locked = std::mem::take(&mut self.locked);
+        self.trunc_registered = false;
+        EngineStats::bump(&engine.stats.early_ack_commits);
+        engine.enqueue_install(PendingInstall::new(
+            engine.id(),
+            write_ts,
+            multi_version,
+            plan,
+            locked,
+        ));
+        Step::Finish(Some(write_ts))
     }
 
     // ------------------------------------------------------------------
-    // COMMIT-PRIMARY
+    // COMMIT-PRIMARY (synchronous path only)
     // ------------------------------------------------------------------
 
     /// One batched install message per destination primary, all destinations
@@ -532,7 +891,7 @@ impl CommitDriver {
     /// unlock, frees tombstone (multi-version) or clear (single-version),
     /// allocs initialize. Within each destination the held locks apply in
     /// ascending address order (the acquisition order).
-    fn phase_install_primary(&mut self) {
+    fn issue_install_primary(&mut self) -> Option<Instant> {
         let engine = Arc::clone(&self.engine);
         // Message accounting: one RDMA write per destination primary.
         for (_node, ops, bytes) in self.plan.primary_destinations() {
@@ -585,7 +944,8 @@ impl CommitDriver {
                 set.issue(primary, Verb::RdmaWrite, work);
             }
         }
-        let completions = set.complete(self.dispatch, Some(engine.meter.stats()));
+        let (completions, deadline) =
+            set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
         // A transaction that only alloc+freed objects in some region has
         // cancelled allocations at a primary with *no* plan group (cancelled
         // intents carry no message): return those slots here, as the serial
@@ -597,25 +957,23 @@ impl CommitDriver {
                 }
             }
         }
-        if baseline {
-            // Baseline "timestamps" are per-object version counters; the
-            // commit reports the largest one it installed.
-            self.write_ts = completions.iter().map(|c| c.value).max().unwrap_or(0);
-        }
-        self.locked.clear();
+        self.pending = Some(Pending::Install(completions));
+        deadline
     }
 
     // ------------------------------------------------------------------
-    // TRUNCATE
+    // TRUNCATE (synchronous path only)
     // ------------------------------------------------------------------
 
     /// Backups apply the new versions to their replicas — one truncation
     /// message per backup destination, all in flight together under
     /// pipelined dispatch. (In operation-logging mode data is not
-    /// replicated, so this is a no-op.)
-    fn phase_truncate(&mut self) {
+    /// replicated, so this is a no-op; under early-ack this phase never
+    /// runs — truncation piggybacks as a watermark instead.)
+    fn issue_truncate(&mut self) -> Option<Instant> {
+        self.pending = Some(Pending::Truncate);
         if self.engine.config().operation_logging {
-            return;
+            return None;
         }
         let engine = Arc::clone(&self.engine);
         let plan = &self.plan;
@@ -644,8 +1002,8 @@ impl CommitDriver {
         let slab_sizes_ref = &slab_sizes;
         let mut set: CompletionSet<'_, ()> = CompletionSet::new(engine.meter.latency_model());
         for backup in destinations {
-            // Truncations are piggybacked two-sided messages, one per
-            // destination.
+            // Synchronous truncations are standalone two-sided messages, one
+            // per destination.
             engine.meter.rpc_batch_deferred(1, 16);
             EngineStats::bump(&engine.stats.truncate_batches);
             let work =
@@ -656,7 +1014,8 @@ impl CommitDriver {
                 set.issue(backup, Verb::Rpc, work);
             }
         }
-        set.complete(self.dispatch, Some(engine.meter.stats()));
+        let (_, deadline) = set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
+        deadline
     }
 
     // ------------------------------------------------------------------
@@ -666,7 +1025,7 @@ impl CommitDriver {
     /// Operation-logging mode: append the transaction description to
     /// `replication` in-memory logs spread over the cluster (Section 5.6),
     /// all replicas in flight together under pipelined dispatch.
-    fn phase_operation_log(&mut self) {
+    fn issue_operation_log(&mut self) -> Option<Instant> {
         let engine = Arc::clone(&self.engine);
         let writes: Vec<Addr> = self
             .plan
@@ -707,7 +1066,9 @@ impl CommitDriver {
                 set.issue(target, Verb::RdmaWrite, || ());
             }
         }
-        set.complete(self.dispatch, Some(engine.meter.stats()));
+        let (_, deadline) = set.complete_deferred(self.dispatch, Some(engine.meter.stats()));
+        self.pending = Some(Pending::OperationLog);
+        deadline
     }
 
     // ------------------------------------------------------------------
@@ -718,8 +1079,16 @@ impl CommitDriver {
     /// this runs, every in-flight sibling verb of the failing phase has
     /// already been drained (the completion set never short-circuits), so
     /// `self.locked` holds the locks of *all* destinations, in ascending
-    /// global address order.
+    /// global address order. A write timestamp reserved for truncation is
+    /// withdrawn — which can only *unblock* earlier transactions'
+    /// watermarks, never lose them.
     fn abort(&mut self, reason: AbortReason) -> TxError {
+        if self.trunc_registered {
+            self.trunc_registered = false;
+            self.engine
+                .backlog()
+                .trunc_complete(self.engine.id(), self.write_ts);
+        }
         unwind(
             &self.engine,
             &mut self.locked,
@@ -727,6 +1096,49 @@ impl CommitDriver {
             self.phase,
             reason,
         )
+    }
+}
+
+impl Drop for CommitDriver {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        // Abandoned mid-flight (e.g. a panic unwinding through a pipeline's
+        // pump): the stashed phase results decide what is safe to undo.
+        match self.pending.take() {
+            Some(Pending::Lock(outcomes)) => {
+                // The destination-side lock closures already ran at issue
+                // time; their locks live in the completions, not in
+                // `self.locked` yet — merge them so the unwind releases
+                // every one.
+                for completion in outcomes {
+                    self.locked.extend(completion.value.locks);
+                }
+                self.locked.sort_by_key(|h| (h.group, h.intent));
+            }
+            Some(Pending::Install(_)) | Some(Pending::Truncate) | Some(Pending::OperationLog) => {
+                // The writes are already installed and unlocked (install
+                // work runs at issue time): unwinding now would free
+                // allocations that are durable committed state. Withdraw
+                // the registrations and stop.
+                if self.trunc_registered {
+                    self.trunc_registered = false;
+                    self.engine
+                        .backlog()
+                        .trunc_complete(self.engine.id(), self.write_ts);
+                }
+                self.engine.unregister_active(self.active);
+                return;
+            }
+            _ => {}
+        }
+        // Pre-install states: release the locks, roll the allocations back,
+        // withdraw every registration. `abort` handles the truncation
+        // reservation and `unwind` clears `locked`.
+        let _ = self.abort(AbortReason::UserRequested);
+        self.engine.unregister_active(self.active);
     }
 }
 
@@ -742,6 +1154,11 @@ impl CommitDriver {
 /// lock. Locks acquired before a failure are *returned, not released* — the
 /// coordinator's unwind releases them together with every other
 /// destination's, preserving the single central abort path.
+///
+/// A conflict against a lock held by an **already-durable** transaction
+/// (early-acked, install still pending) is not a real conflict: the locker
+/// helps complete that install and retries the batch, exactly as a real
+/// primary would process the straggler COMMIT-PRIMARY first.
 fn lock_at_destination(
     engine: &NodeEngine,
     plan: &CommitPlan,
@@ -765,15 +1182,25 @@ fn lock_at_destination(
             out.failure = Some((addr, AbortReason::RegionUnavailable(addr)));
             return out;
         }
-        let slots = match group.region_handle.try_lock_batch(&entries) {
-            Ok(slots) => slots,
-            Err(failure) => {
-                let reason = match failure.outcome {
-                    LockOutcome::NotAllocated => AbortReason::BadAddress(failure.addr),
-                    _ => AbortReason::LockConflict(failure.addr),
-                };
-                out.failure = Some((failure.addr, reason));
-                return out;
+        let mut help_attempts = 0u32;
+        let slots = loop {
+            match group.region_handle.try_lock_batch(&entries) {
+                Ok(slots) => break slots,
+                Err(failure) => {
+                    if failure.outcome == LockOutcome::Conflict
+                        && help_attempts < 8
+                        && engine.help_install(failure.addr)
+                    {
+                        help_attempts += 1;
+                        continue;
+                    }
+                    let reason = match failure.outcome {
+                        LockOutcome::NotAllocated => AbortReason::BadAddress(failure.addr),
+                        _ => AbortReason::LockConflict(failure.addr),
+                    };
+                    out.failure = Some((failure.addr, reason));
+                    return out;
+                }
             }
         };
         let lockable = slots.len();
@@ -885,8 +1312,11 @@ fn allocate_old_version(
 
 /// Validates one destination's batch of header reads. Returns the first
 /// (smallest, entries are sorted) failing address, or `None` when the whole
-/// batch validates.
+/// batch validates. A locked header belonging to an already-durable
+/// transaction is resolved by helping its install — the re-read header then
+/// decides honestly (a newer installed version still fails validation).
 fn validate_at_destination(
+    engine: &NodeEngine,
     entries: &[(Addr, u64, Arc<farm_memory::Region>)],
     baseline: bool,
     read_ts: u64,
@@ -894,7 +1324,10 @@ fn validate_at_destination(
     for (addr, observed, region) in entries {
         let ok = match region.slot(*addr) {
             Ok(slot) => {
-                let h = slot.header_snapshot();
+                let mut h = slot.header_snapshot();
+                if h.locked && engine.help_install(*addr) {
+                    h = slot.header_snapshot();
+                }
                 if baseline {
                     !h.locked && !h.tombstone && h.ts == *observed
                 } else {
@@ -911,6 +1344,56 @@ fn validate_at_destination(
         }
     }
     None
+}
+
+/// Applies one held lock at its primary: install-and-unlock for updates,
+/// tombstone (multi-version) or clear (single-version) for frees, linking
+/// the old-version chain and arming its GC time. Shared by the synchronous
+/// install phase and the background [`PendingInstall`] drain/help paths.
+pub(crate) fn install_held_lock(
+    engine: &NodeEngine,
+    plan: &CommitPlan,
+    held: &HeldLock,
+    new_ts: u64,
+    multi_version: bool,
+) {
+    let group = &plan.groups[held.group];
+    let intent = &group.intents[held.intent];
+    let ovp = if multi_version && !held.truncated {
+        if let Some(old_addr) = held.old_addr {
+            // The old version becomes reclaimable once the GC safe
+            // point passes this transaction's write timestamp.
+            engine
+                .cluster()
+                .node(group.primary)
+                .old_versions()
+                .set_gc_time(old_addr, new_ts);
+            Some(old_addr)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    match intent.kind {
+        IntentKind::Update => {
+            held.slot
+                .install_and_unlock(new_ts, intent.data.clone(), ovp);
+        }
+        IntentKind::Free if multi_version => {
+            // A multi-version free preserves history exactly as an
+            // update does: the slot becomes a tombstone anchoring the
+            // old-version chain, and is reclaimed by the GC sweep once
+            // the safe point passes `new_ts`.
+            held.slot.install_tombstone_and_unlock(new_ts, ovp);
+            group.region_handle.note_tombstone(intent.addr, new_ts);
+        }
+        IntentKind::Free => {
+            held.slot.clear();
+            let _ = group.region_handle.free(intent.addr);
+        }
+        IntentKind::Alloc => unreachable!("allocs take no lock"),
+    }
 }
 
 /// COMMIT-PRIMARY processing for one destination: apply the held locks in
@@ -942,41 +1425,7 @@ fn install_at_destination(
         } else {
             write_ts
         };
-        let ovp = if multi_version && !held.truncated {
-            if let Some(old_addr) = held.old_addr {
-                // The old version becomes reclaimable once the GC safe
-                // point passes this transaction's write timestamp.
-                engine
-                    .cluster()
-                    .node(group.primary)
-                    .old_versions()
-                    .set_gc_time(old_addr, new_ts);
-                Some(old_addr)
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        match intent.kind {
-            IntentKind::Update => {
-                held.slot
-                    .install_and_unlock(new_ts, intent.data.clone(), ovp);
-            }
-            IntentKind::Free if multi_version => {
-                // A multi-version free preserves history exactly as an
-                // update does: the slot becomes a tombstone anchoring the
-                // old-version chain, and is reclaimed by the GC sweep once
-                // the safe point passes `new_ts`.
-                held.slot.install_tombstone_and_unlock(new_ts, ovp);
-                group.region_handle.note_tombstone(intent.addr, new_ts);
-            }
-            IntentKind::Free => {
-                held.slot.clear();
-                let _ = group.region_handle.free(intent.addr);
-            }
-            IntentKind::Alloc => unreachable!("allocs take no lock"),
-        }
+        install_held_lock(engine, plan, held, new_ts, multi_version);
     }
     // Initialize objects newly allocated at this destination.
     for &gi in group_idxs {
@@ -999,7 +1448,9 @@ fn install_at_destination(
 }
 
 /// TRUNCATE processing for one backup destination: mirror every group's
-/// installed intents into the backup's replica.
+/// installed intents into the backup's replica (the synchronous path; the
+/// early-ack path applies backup redo-log entries instead — see
+/// [`super::backlog`]).
 fn truncate_at_backup(
     engine: &NodeEngine,
     plan: &CommitPlan,
@@ -1016,17 +1467,13 @@ fn truncate_at_backup(
         }
         let replica = engine.cluster().node(backup).regions().ensure(group.region);
         for (intent, &slab_size) in group.intents.iter().zip(sizes) {
-            if slab_size == 0 {
-                continue;
-            }
-            let slab = replica.ensure_slab(intent.addr.slab, slab_size);
-            let Ok(slot) = slab.slot(intent.addr.slot) else {
-                continue;
-            };
-            match intent.kind {
-                IntentKind::Free => slot.clear(),
-                _ => slot.initialize(write_ts, intent.data.clone()),
-            }
+            replica.apply_replicated(
+                intent.addr,
+                slab_size,
+                write_ts,
+                &intent.data,
+                intent.kind == IntentKind::Free,
+            );
         }
     }
 }

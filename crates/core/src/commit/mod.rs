@@ -13,16 +13,27 @@
 //! * [`driver`] — the [`CommitDriver`] state machine with explicit phases
 //!   (`Lock → [SI: Replicate] → WriteTs → [Ser: Validate → Replicate] →
 //!   InstallPrimary → Truncate → OpLog`), one batched metered message per
-//!   destination per phase.
+//!   destination per phase. Each phase is split into an *issue* and a
+//!   *finish* half so the driver can be stepped without blocking.
+//! * [`backlog`] — the three-stage commit-completion state: pending
+//!   COMMIT-PRIMARY installs (claimable by helpers), backup redo logs, and
+//!   per-coordinator `truncate_below` watermarks piggybacked on outgoing
+//!   verbs instead of standalone TRUNCATE messages.
+//! * [`pipeline`] — the per-thread [`CommitPipeline`]: one worker keeps up
+//!   to `depth` transactions in their commit critical paths at once,
+//!   multiplexing their completion deadlines.
 //! * [`unwind`] — the single abort path: every failure releases all locks
 //!   held across every destination and rolls back allocations.
 //!
 //! [`Transaction`](crate::Transaction) builds the plan and hands it to the
 //! driver; `tx.rs` itself no longer contains any phase loop.
 
+pub(crate) mod backlog;
 pub mod driver;
+pub mod pipeline;
 pub mod plan;
 mod unwind;
 
 pub use driver::{CommitDriver, CommitPhase};
+pub use pipeline::CommitPipeline;
 pub use plan::{CommitPlan, DestinationBatch, IntentKind, RegionGroup, WriteIntent};

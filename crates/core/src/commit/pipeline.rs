@@ -1,0 +1,179 @@
+//! Per-thread commit pipelining: one worker thread keeps up to `depth`
+//! transactions in their commit **critical paths** at once.
+//!
+//! A synchronous coordinator thread alternates between issuing a phase's
+//! verbs and sleeping until their completion deadline, so under injected
+//! network latency its throughput is bounded by `1 / commit-latency`. But
+//! the sleeps are pure flight time — the thread has nothing to do, and a
+//! real FaRM worker would be multiplexing many transactions over its
+//! completion queues. [`CommitPipeline`] reproduces that: each submitted
+//! transaction's [`CommitDriver`](super::CommitDriver) is stepped with
+//! [`advance`](super::CommitDriver::advance), which *returns* its phase
+//! deadlines instead of blocking on them, and the pipeline sleeps only
+//! until the **earliest** deadline across all in-flight commits — so
+//! per-thread throughput scales toward `depth / max-phase-latency` instead
+//! of `1 / total-latency`. Dead time (every in-flight commit waiting on the
+//! wire) is spent draining the engine's pending-install backlog, exactly
+//! where a real worker would process its completion-queue backlog.
+//!
+//! In-flight transactions of one pipeline are truly concurrent commits:
+//! they must write **disjoint** objects, or the later one aborts on a lock
+//! conflict like any concurrent committer would.
+
+use std::time::Instant;
+
+use crate::engine::NodeEngine;
+use crate::error::TxError;
+use crate::tx::{CommitInfo, PreparedCommit, Transaction};
+use std::sync::Arc;
+
+use super::driver::{CommitDriver, DriverStep};
+
+/// One in-flight commit and the deadline it is waiting out (`None` = ready
+/// to advance immediately).
+struct Flight {
+    driver: Box<CommitDriver>,
+    wake: Option<Instant>,
+}
+
+/// A per-thread commit pipeline; see the module docs. Built by
+/// [`NodeEngine::pipeline`]; not `Send` across submissions in spirit — it is
+/// one worker thread's multiplexer, like one FaRM thread's completion
+/// queues.
+pub struct CommitPipeline {
+    engine: Arc<NodeEngine>,
+    depth: usize,
+    inflight: Vec<Flight>,
+    results: Vec<Result<CommitInfo, TxError>>,
+}
+
+impl NodeEngine {
+    /// Creates a commit pipeline that keeps up to `depth` of this thread's
+    /// transactions in their commit critical paths concurrently (clamped to
+    /// at least 1; depth 1 behaves like synchronous `commit`).
+    pub fn pipeline(self: &Arc<Self>, depth: usize) -> CommitPipeline {
+        CommitPipeline {
+            engine: Arc::clone(self),
+            depth: depth.max(1),
+            inflight: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl CommitPipeline {
+    /// The configured pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of commits currently in their critical paths.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Submits a transaction for commit. If the pipeline is at depth, this
+    /// first pumps until a slot frees (paying whatever flight time the
+    /// oldest commits still owe); the new commit's first phase is issued
+    /// before returning. Results (in completion order, which may differ
+    /// from submission order) accumulate until [`CommitPipeline::take`] or
+    /// [`CommitPipeline::drain`].
+    pub fn submit(&mut self, tx: Transaction) {
+        match tx.prepare_commit() {
+            PreparedCommit::Done(result) => self.results.push(result),
+            PreparedCommit::InFlight(driver) => {
+                self.pump_until(self.depth - 1);
+                self.inflight.push(Flight { driver, wake: None });
+                self.step_ready();
+            }
+        }
+    }
+
+    /// Advances any in-flight commit whose deadline has passed, without
+    /// blocking. Call this opportunistically between submissions to keep
+    /// completions flowing.
+    pub fn poll(&mut self) {
+        self.step_ready();
+    }
+
+    /// Takes the results accumulated so far (completion order).
+    pub fn take(&mut self) -> Vec<Result<CommitInfo, TxError>> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Completes every in-flight commit and returns all accumulated results.
+    pub fn drain(&mut self) -> Vec<Result<CommitInfo, TxError>> {
+        self.pump_until(0);
+        self.take()
+    }
+
+    /// One non-blocking sweep: advance every flight whose wake deadline has
+    /// passed (or that has not issued anything yet). Returns whether any
+    /// flight made progress.
+    fn step_ready(&mut self) -> bool {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let ready = match self.inflight[i].wake {
+                None => true,
+                Some(wake) => wake <= Instant::now(),
+            };
+            if !ready {
+                i += 1;
+                continue;
+            }
+            progressed = true;
+            match self.inflight[i].driver.advance() {
+                DriverStep::Wait(deadline) => {
+                    self.inflight[i].wake = Some(deadline);
+                    i += 1;
+                }
+                DriverStep::Finished(result) => {
+                    self.inflight.remove(i);
+                    self.results.push(result);
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Pumps until at most `target` commits remain in flight: sweep the
+    /// ready flights, spend dead time on the engine's pending-install
+    /// backlog, and sleep only until the earliest deadline across all
+    /// in-flight commits.
+    fn pump_until(&mut self, target: usize) {
+        while self.inflight.len() > target {
+            if self.step_ready() {
+                continue;
+            }
+            // Everything in flight: background work first, then sleep to
+            // the earliest completion.
+            self.engine.drain_pending_installs();
+            if self.step_ready() {
+                continue;
+            }
+            if let Some(wake) = self.inflight.iter().filter_map(|f| f.wake).min() {
+                self.engine.meter.latency_model().wait_until(wake);
+            }
+        }
+    }
+}
+
+impl Drop for CommitPipeline {
+    fn drop(&mut self) {
+        // Never abandon in-flight commits: their drivers hold locks at the
+        // primaries. Draining completes them (they are past the point of
+        // caller control anyway; the results are simply discarded).
+        self.pump_until(0);
+    }
+}
+
+impl std::fmt::Debug for CommitPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitPipeline")
+            .field("depth", &self.depth)
+            .field("in_flight", &self.inflight.len())
+            .field("pending_results", &self.results.len())
+            .finish()
+    }
+}

@@ -151,7 +151,14 @@ impl CommitPlan {
             if alloc_set.contains(&addr) || is_freed(addr) {
                 continue; // Covered by the alloc or free intent.
             }
-            let expected_ts = *read_set.get(&addr).expect("write implies read");
+            // A write without a prior read is a **blind write**: there is no
+            // observed version to lock against, so the LOCK phase acquires
+            // at whatever version is installed (`LOCK_ANY_VERSION`) — no
+            // read dependency, no validation entry.
+            let expected_ts = read_set
+                .get(&addr)
+                .copied()
+                .unwrap_or(farm_memory::LOCK_ANY_VERSION);
             intents.push(WriteIntent {
                 addr,
                 expected_ts,
@@ -230,13 +237,20 @@ impl CommitPlan {
     /// node id, each destination's group indices ascending (== ascending
     /// address order within the destination). This is the fan-out unit of
     /// the pipelined commit phases: one completion-set verb per entry.
+    ///
+    /// Destination counts are tiny (bounded by the cluster size), so this
+    /// accumulates into a sorted `Vec` with linear probing — no per-commit
+    /// tree allocation on the hot path.
     pub fn groups_by_primary(&self) -> Vec<(NodeId, Vec<usize>)> {
-        let mut by_primary: std::collections::BTreeMap<NodeId, Vec<usize>> =
-            std::collections::BTreeMap::new();
+        let mut by_primary: Vec<(NodeId, Vec<usize>)> = Vec::with_capacity(self.groups.len());
         for (gi, g) in self.groups.iter().enumerate() {
-            by_primary.entry(g.primary).or_default().push(gi);
+            match by_primary.iter_mut().find(|(n, _)| *n == g.primary) {
+                Some((_, idxs)) => idxs.push(gi),
+                None => by_primary.push((g.primary, vec![gi])),
+            }
         }
-        by_primary.into_iter().collect()
+        by_primary.sort_by_key(|(n, _)| *n);
+        by_primary
     }
 
     /// Message-level view of the LOCK phase: one batch per destination
@@ -268,13 +282,15 @@ impl CommitPlan {
     /// Aggregates `(ops, wire bytes)` of the intents selected by `keep` for
     /// each destination named by `nodes_of`, ascending by node id. All
     /// batched phases derive their per-message accounting from this one
-    /// aggregation so the metrics cannot drift apart.
+    /// aggregation so the metrics cannot drift apart. Linear accumulation —
+    /// destination counts are bounded by the cluster size, and this runs
+    /// several times per commit.
     fn destinations(
         &self,
         nodes_of: impl Fn(&RegionGroup) -> &[NodeId],
         keep: impl Fn(&WriteIntent) -> bool,
     ) -> Vec<(NodeId, u64, usize)> {
-        let mut per_node: HashMap<NodeId, (u64, usize)> = HashMap::new();
+        let mut out: Vec<(NodeId, u64, usize)> = Vec::new();
         for g in &self.groups {
             let (ops, bytes) = g
                 .intents
@@ -285,13 +301,15 @@ impl CommitPlan {
                 continue;
             }
             for &node in nodes_of(g) {
-                let e = per_node.entry(node).or_insert((0, 0));
-                e.0 += ops;
-                e.1 += bytes;
+                match out.iter_mut().find(|(n, ..)| *n == node) {
+                    Some((_, o, b)) => {
+                        *o += ops;
+                        *b += bytes;
+                    }
+                    None => out.push((node, ops, bytes)),
+                }
             }
         }
-        let mut out: Vec<(NodeId, u64, usize)> =
-            per_node.into_iter().map(|(n, (o, b))| (n, o, b)).collect();
         out.sort_by_key(|(n, ..)| *n);
         out
     }

@@ -12,6 +12,7 @@ use farm_net::{NodeId, OneSidedMeter};
 use parking_lot::Mutex;
 
 use crate::active::{ActiveToken, ActiveTxTable};
+use crate::commit::backlog::{Backlog, PendingInstall};
 use crate::error::{AbortReason, TxError};
 use crate::opts::{EngineConfig, TxOptions};
 use crate::stats::{EngineStats, EngineStatsSnapshot};
@@ -53,11 +54,25 @@ pub struct NodeEngine {
     op_log_len: AtomicUsize,
     /// Records ever appended to `op_log` (monotone; not capped by the ring).
     op_log_appended: AtomicU64,
+    /// Cluster-shared commit-completion backlog (pending installs, backup
+    /// redo logs, truncation watermarks). See [`crate::commit::backlog`].
+    backlog: Arc<Backlog>,
+    /// This engine's committed-but-not-installed transactions, drained
+    /// opportunistically (at `begin`, in pipeline dead time, by the
+    /// background thread) and raced by helping readers.
+    installs: Mutex<VecDeque<Arc<PendingInstall>>>,
+    /// O(1) emptiness check for the hot path.
+    installs_len: AtomicUsize,
     alive: AtomicBool,
 }
 
 impl NodeEngine {
-    fn new(cluster: Arc<Cluster>, id: NodeId, config: EngineConfig) -> Arc<Self> {
+    fn new(
+        cluster: Arc<Cluster>,
+        id: NodeId,
+        config: EngineConfig,
+        backlog: Arc<Backlog>,
+    ) -> Arc<Self> {
         let handle = Arc::clone(cluster.node(id));
         let active = Arc::new(ActiveTxTable::new());
         // Register the OAT provider: the oldest active local transaction's
@@ -77,6 +92,9 @@ impl NodeEngine {
             op_log: Mutex::new(VecDeque::new()),
             op_log_len: AtomicUsize::new(0),
             op_log_appended: AtomicU64::new(0),
+            backlog,
+            installs: Mutex::new(VecDeque::new()),
+            installs_len: AtomicUsize::new(0),
             alive: AtomicBool::new(true),
         })
     }
@@ -141,9 +159,101 @@ impl NodeEngine {
         self.begin_with(TxOptions::default())
     }
 
-    /// Starts a transaction with explicit options.
+    /// Starts a transaction with explicit options. Pending COMMIT-PRIMARY
+    /// installs of this engine's earlier early-acked commits are drained
+    /// first (off the commit critical path — this is the opportunistic
+    /// stage-2 completion point of the lifecycle).
     pub fn begin_with(self: &Arc<Self>, opts: TxOptions) -> Transaction {
+        self.drain_pending_installs();
         Transaction::start(Arc::clone(self), opts)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-completion backlog (stages 2 and 3 of the commit lifecycle)
+    // ------------------------------------------------------------------
+
+    /// The cluster-shared commit-completion backlog.
+    pub(crate) fn backlog(&self) -> &Backlog {
+        &self.backlog
+    }
+
+    /// Queues an early-acked commit's leftover installs. An install with no
+    /// destinations (pure allocations) completes immediately, releasing its
+    /// truncation reservation.
+    pub(crate) fn enqueue_install(&self, install: PendingInstall) {
+        if install.dest_count() == 0 {
+            self.backlog
+                .trunc_complete(install.coordinator(), install.write_ts());
+            return;
+        }
+        let install = Arc::new(install);
+        // Publish the address index before the queue entry so a reader that
+        // observes the still-held locks can already find (and help) it.
+        self.backlog.index_insert(&install);
+        let mut queue = self.installs.lock();
+        queue.push_back(install);
+        // Under the queue lock, so the drain's bulk subtraction stays
+        // consistent with the queue contents.
+        self.installs_len.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drains this engine's pending COMMIT-PRIMARY installs: every
+    /// destination not already claimed by a helper is processed now.
+    /// Returns the number of destination installs this call performed. An
+    /// empty backlog costs one atomic load.
+    pub fn drain_pending_installs(&self) -> usize {
+        if self.installs_len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut done = 0;
+        // Take the whole queue under one lock; the installs themselves run
+        // outside it so concurrent enqueuers never wait on install work.
+        let drained: Vec<Arc<PendingInstall>> = {
+            let mut queue = self.installs.lock();
+            let drained: Vec<Arc<PendingInstall>> = queue.drain(..).collect();
+            self.installs_len
+                .fetch_sub(drained.len(), Ordering::Release);
+            drained
+        };
+        for install in drained {
+            for di in 0..install.dest_count() {
+                if install.install_dest(self, &self.backlog, di) {
+                    done += 1;
+                }
+            }
+        }
+        done
+    }
+
+    /// Number of commits whose installs are still queued at this engine.
+    pub fn pending_installs(&self) -> usize {
+        self.installs_len.load(Ordering::Acquire)
+    }
+
+    /// A reader / locker / validator hit a locked slot: if the lock belongs
+    /// to an already-durable transaction, complete (or observe another
+    /// thread completing) its install. Returns whether a pending install
+    /// existed — callers re-read instead of backing off when it did.
+    pub(crate) fn help_install(&self, addr: Addr) -> bool {
+        self.backlog.help_install(self, addr)
+    }
+
+    /// This coordinator's current `truncate_below` watermark: every one of
+    /// its committed transactions at or below this write timestamp has
+    /// completed its installs. Monotone.
+    pub fn truncation_watermark(&self) -> u64 {
+        self.backlog.watermark(self.id)
+    }
+
+    /// The watermark already delivered (piggybacked or flushed) from this
+    /// coordinator to `dest`.
+    pub fn delivered_truncation(&self, dest: NodeId) -> u64 {
+        self.backlog.delivered(self.id, dest)
+    }
+
+    /// Untruncated backup redo-log entries currently held at this node.
+    pub fn backup_log_len(&self) -> usize {
+        self.backlog.log_len(self.id)
     }
 
     /// Starts a read-only transaction at an explicit (possibly past) read
@@ -234,8 +344,20 @@ impl std::fmt::Debug for NodeEngine {
     }
 }
 
-struct EngineHooks;
-impl RecoveryHooks for EngineHooks {}
+/// The engine's reactions to control-plane events: when a backup is
+/// promoted to primary, it replays its untruncated redo-log entries for the
+/// region before serving — committed (early-acked) transactions whose
+/// COMMIT-PRIMARY never landed at the failed primary are recovered from the
+/// log, never lost and never observed torn.
+struct EngineHooks {
+    backlog: Arc<Backlog>,
+}
+
+impl RecoveryHooks for EngineHooks {
+    fn on_region_promoted(&self, region: RegionId, new_primary: NodeId) {
+        self.backlog.recover_region(region, new_primary);
+    }
+}
 
 /// One GC pass on one node: reclaim old-version blocks below the safe point
 /// and sweep tombstoned slots the point has passed. Shared by the background
@@ -267,12 +389,15 @@ pub struct Engine {
 impl Engine {
     /// Builds the engine on an already-started cluster.
     pub fn start(cluster: Arc<Cluster>, config: EngineConfig) -> Arc<Engine> {
+        let backlog = Arc::new(Backlog::new(cluster.nodes().to_vec()));
         let nodes: Vec<Arc<NodeEngine>> = cluster
             .nodes()
             .iter()
-            .map(|n| NodeEngine::new(Arc::clone(&cluster), n.id(), config))
+            .map(|n| NodeEngine::new(Arc::clone(&cluster), n.id(), config, Arc::clone(&backlog)))
             .collect();
-        cluster.set_recovery_hooks(Arc::new(EngineHooks));
+        cluster.set_recovery_hooks(Arc::new(EngineHooks {
+            backlog: Arc::clone(&backlog),
+        }));
         let engine = Arc::new(Engine {
             cluster: Arc::clone(&cluster),
             config,
@@ -280,20 +405,32 @@ impl Engine {
             stop: Arc::new(AtomicBool::new(false)),
             gc_thread: Mutex::new(None),
         });
-        // Background GC driver.
+        // Background GC driver; also drains straggler installs and flushes
+        // truncation watermarks that sat idle (no outgoing verb to piggyback
+        // on).
         let stop = Arc::clone(&engine.stop);
         let nodes_for_gc: Vec<Arc<NodeEngine>> = engine.nodes.clone();
         let interval = config.gc_interval;
+        let idle = config.truncate_idle_flush;
         let handle = std::thread::Builder::new()
             .name("farm-gc".into())
             .spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     for node in &nodes_for_gc {
                         if node.is_alive() {
+                            node.drain_pending_installs();
+                            node.backlog.flush_idle(node, idle);
                             collect_node_garbage(node.handle());
                         }
                     }
-                    std::thread::sleep(interval);
+                    // Sleep in bounded slices so `shutdown` never waits out
+                    // a long GC interval to join this thread.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !stop.load(Ordering::Acquire) {
+                        let slice = remaining.min(std::time::Duration::from_millis(10));
+                        std::thread::sleep(slice);
+                        remaining -= slice;
+                    }
                 }
             })
             .expect("spawn GC thread");
@@ -340,15 +477,45 @@ impl Engine {
     }
 
     /// Runs one old-version GC pass (including tombstone sweeps) on every
-    /// node immediately.
+    /// node immediately. Pending installs drain first so tombstones laid
+    /// down by early-acked frees are visible to the sweep.
     pub fn collect_garbage_now(&self) {
         for node in &self.nodes {
+            if node.is_alive() {
+                node.drain_pending_installs();
+            }
             collect_node_garbage(node.handle());
         }
     }
 
-    /// Stops the background GC thread (the cluster keeps running).
+    /// Settles the commit-completion backlog cluster-wide: every pending
+    /// COMMIT-PRIMARY install is applied and every truncation watermark is
+    /// force-delivered to every destination (each undelivered watermark
+    /// costs one standalone flush message, exactly as the idle flusher would
+    /// pay). After this, all committed state is installed at primaries and
+    /// mirrored at backups — the quiescent point benchmarks and tests settle
+    /// to before inspecting replicas.
+    pub fn quiesce(&self) {
+        for node in &self.nodes {
+            if node.is_alive() {
+                node.drain_pending_installs();
+            }
+        }
+        for node in &self.nodes {
+            if !node.is_alive() {
+                continue;
+            }
+            for dest in self.cluster.nodes() {
+                node.backlog.deliver_truncation(node, dest.id(), true);
+            }
+        }
+    }
+
+    /// Stops the background GC thread (the cluster keeps running). The
+    /// commit-completion backlog is settled first so no locks or undelivered
+    /// truncations outlive the engine's background machinery.
     pub fn shutdown(&self) {
+        self.quiesce();
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.gc_thread.lock().take() {
             let _ = h.join();

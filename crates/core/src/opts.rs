@@ -103,6 +103,25 @@ pub struct EngineConfig {
     /// How many times a read retries when it observes a locked head version
     /// before aborting.
     pub read_lock_retries: u32,
+    /// Early-acknowledged commits (the paper's commit completion rule): a
+    /// FaRMv2 transaction is durably committed once every COMMIT-BACKUP is
+    /// acked, so `Transaction::commit` returns there and COMMIT-PRIMARY
+    /// installs drain in the background (readers hitting a still-locked slot
+    /// of a durable transaction help complete its install). TRUNCATE stops
+    /// being a standalone message: the coordinator piggybacks a
+    /// `truncate_below` watermark on its next outgoing LOCK / VALIDATE /
+    /// COMMIT-BACKUP verb to each destination, falling back to a timed flush
+    /// when traffic is idle. Ignored under [`farm_net::DispatchMode::Serial`]
+    /// (the A/B baseline keeps the fully synchronous protocol), in baseline
+    /// mode (its write timestamps are install results) and in
+    /// operation-logging mode (durability there is the op-log append).
+    pub early_ack: bool,
+    /// How long a raised-but-undelivered truncation watermark may sit before
+    /// the background flusher sends it as a standalone message. Under any
+    /// steady commit traffic the watermark piggybacks on protocol verbs well
+    /// before this expires, so standalone TRUNCATE messages only appear on
+    /// idle connections.
+    pub truncate_idle_flush: std::time::Duration,
     /// Maximum operation-log records retained per node in operation-logging
     /// mode; the log is a ring that evicts its oldest record beyond this, so
     /// long runs do not grow memory unboundedly.
@@ -123,6 +142,8 @@ impl Default for EngineConfig {
             latency: farm_net::LatencyModel::zero(),
             operation_logging: false,
             read_lock_retries: 100,
+            early_ack: true,
+            truncate_idle_flush: std::time::Duration::from_millis(1),
             op_log_capacity: 65_536,
             gc_interval: std::time::Duration::from_millis(2),
             unsafe_skip_write_wait: false,

@@ -64,11 +64,30 @@ pub struct EngineStats {
     pub backup_batches: AtomicU64,
     /// COMMIT-PRIMARY batches sent (one per destination primary).
     pub primary_batches: AtomicU64,
-    /// TRUNCATE batches sent (one per backup destination).
+    /// TRUNCATE batches sent (one per backup destination). With early-ack
+    /// commits this counts only **standalone idle flushes**; piggybacked
+    /// watermark deliveries count under `truncations_piggybacked`.
     pub truncate_batches: AtomicU64,
     /// Abort unwinds executed by the commit driver (locks released across
     /// every destination, allocations rolled back).
     pub unwinds: AtomicU64,
+    // ---- Early-ack commit lifecycle counters ----------------------------
+    /// Commits acknowledged at the end of the critical path (all
+    /// COMMIT-BACKUP acks drained), before COMMIT-PRIMARY installs landed.
+    pub early_ack_commits: AtomicU64,
+    /// Per-destination COMMIT-PRIMARY installs completed in the background
+    /// (by the committing engine's opportunistic drain or by helpers).
+    pub installs_background: AtomicU64,
+    /// Times a reader / locker / validator hit a locked slot of an
+    /// already-durable transaction and helped complete its install instead
+    /// of backing off or aborting.
+    pub install_helps: AtomicU64,
+    /// Truncation watermark deliveries piggybacked on outgoing LOCK /
+    /// VALIDATE / COMMIT-BACKUP verbs (zero standalone messages).
+    pub truncations_piggybacked: AtomicU64,
+    /// Standalone truncation flushes sent because a watermark sat idle past
+    /// [`crate::EngineConfig::truncate_idle_flush`].
+    pub truncate_flushes: AtomicU64,
 }
 
 /// Point-in-time copy of [`EngineStats`].
@@ -120,10 +139,20 @@ pub struct EngineStatsSnapshot {
     pub backup_batches: u64,
     /// COMMIT-PRIMARY batches sent.
     pub primary_batches: u64,
-    /// TRUNCATE batches sent.
+    /// TRUNCATE batches sent (standalone flushes only under early-ack).
     pub truncate_batches: u64,
     /// Commit-driver abort unwinds.
     pub unwinds: u64,
+    /// Commits acknowledged at the end of the critical path.
+    pub early_ack_commits: u64,
+    /// Background per-destination COMMIT-PRIMARY installs completed.
+    pub installs_background: u64,
+    /// Installs completed by helping readers/lockers/validators.
+    pub install_helps: u64,
+    /// Piggybacked truncation watermark deliveries.
+    pub truncations_piggybacked: u64,
+    /// Standalone idle truncation flushes.
+    pub truncate_flushes: u64,
 }
 
 impl EngineStats {
@@ -155,6 +184,11 @@ impl EngineStats {
             primary_batches: self.primary_batches.load(Ordering::Relaxed),
             truncate_batches: self.truncate_batches.load(Ordering::Relaxed),
             unwinds: self.unwinds.load(Ordering::Relaxed),
+            early_ack_commits: self.early_ack_commits.load(Ordering::Relaxed),
+            installs_background: self.installs_background.load(Ordering::Relaxed),
+            install_helps: self.install_helps.load(Ordering::Relaxed),
+            truncations_piggybacked: self.truncations_piggybacked.load(Ordering::Relaxed),
+            truncate_flushes: self.truncate_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -261,6 +295,11 @@ impl EngineStatsSnapshot {
             primary_batches: self.primary_batches - earlier.primary_batches,
             truncate_batches: self.truncate_batches - earlier.truncate_batches,
             unwinds: self.unwinds - earlier.unwinds,
+            early_ack_commits: self.early_ack_commits - earlier.early_ack_commits,
+            installs_background: self.installs_background - earlier.installs_background,
+            install_helps: self.install_helps - earlier.install_helps,
+            truncations_piggybacked: self.truncations_piggybacked - earlier.truncations_piggybacked,
+            truncate_flushes: self.truncate_flushes - earlier.truncate_flushes,
         }
     }
 
@@ -294,6 +333,11 @@ impl EngineStatsSnapshot {
             primary_batches: self.primary_batches + other.primary_batches,
             truncate_batches: self.truncate_batches + other.truncate_batches,
             unwinds: self.unwinds + other.unwinds,
+            early_ack_commits: self.early_ack_commits + other.early_ack_commits,
+            installs_background: self.installs_background + other.installs_background,
+            install_helps: self.install_helps + other.install_helps,
+            truncations_piggybacked: self.truncations_piggybacked + other.truncations_piggybacked,
+            truncate_flushes: self.truncate_flushes + other.truncate_flushes,
         }
     }
 }

@@ -58,6 +58,19 @@ impl LockBackoff {
     }
 }
 
+/// What [`Transaction::prepare_commit`] produced: either an already-decided
+/// outcome (read-only fast path, plan-build failure) or a commit driver
+/// ready to be run synchronously or stepped by a
+/// [`CommitPipeline`](crate::CommitPipeline).
+pub(crate) enum PreparedCommit {
+    /// The commit was decided without touching the network.
+    Done(Result<CommitInfo, TxError>),
+    /// The commit protocol must run; the driver owns all bookkeeping
+    /// (active-table withdrawal, statistics) from here on. Boxed: the
+    /// driver carries the whole plan, and a pipeline shuffles these around.
+    InFlight(Box<CommitDriver>),
+}
+
 /// Information about a successful commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitInfo {
@@ -205,6 +218,12 @@ impl Transaction {
             self.meter_read(local, 64 + slot.raw_data().len());
             match slot.read_consistent() {
                 ConsistentRead::Locked => {
+                    // A lock held by an already-durable (early-acked)
+                    // transaction is not contention: help complete its
+                    // install and re-read immediately.
+                    if self.engine.help_install(addr) {
+                        continue;
+                    }
                     if !backoff.wait() {
                         EngineStats::bump(&self.engine.stats.read_lock_retries_exhausted);
                         return Err(self.execution_abort(AbortReason::ReadLockedObject(addr)));
@@ -355,7 +374,8 @@ impl Transaction {
         let local = primary == self.engine.id();
         let mut backoff = LockBackoff::new(self.engine.config().read_lock_retries);
         loop {
-            if !backoff.wait() {
+            // Durable-but-uninstalled writers are helped, not waited out.
+            if !self.engine.help_install(addr) && !backoff.wait() {
                 EngineStats::bump(&self.engine.stats.read_lock_retries_exhausted);
                 return Err(self.execution_abort(AbortReason::ReadLockedObject(addr)));
             }
@@ -481,6 +501,31 @@ impl Transaction {
         Ok(())
     }
 
+    /// Buffers a **blind write**: `data` overwrites the object at `addr`
+    /// without reading it first. The commit's LOCK phase acquires the object
+    /// at whatever version is installed — there is no read dependency to
+    /// version-check and no validation entry, so a blind write can never
+    /// abort with `VersionChanged`, only on a live lock conflict or a freed
+    /// object. Serializability is unaffected: the transaction's serialization
+    /// point is still its write timestamp, ordered by the object lock.
+    ///
+    /// This is the natural shape of a KV `put`, and it keeps the execution
+    /// phase off the network entirely for update-only transactions. In
+    /// baseline mode (whose per-object version counters derive from the
+    /// version read) this falls back to read-then-write.
+    pub fn overwrite(&mut self, addr: Addr, data: impl Into<Bytes>) -> Result<(), TxError> {
+        if self.stale_readonly {
+            return Err(TxError::InvalidOperation(
+                "stale snapshot transactions are read-only",
+            ));
+        }
+        if self.engine.config().mode.is_baseline() {
+            return self.write(addr, data);
+        }
+        self.write_set.insert(addr, data.into());
+        Ok(())
+    }
+
     /// Allocates a new object initialized with `data` in a region whose
     /// primary is the coordinator's machine (exploiting locality), or in any
     /// region if the coordinator holds no primaries.
@@ -545,17 +590,35 @@ impl Transaction {
     /// [`CommitDriver`] (Figure 3; or the baseline protocol when the engine
     /// is in baseline mode). Consumes the transaction either way; on error
     /// the transaction has aborted and all its locks have been released.
-    pub fn commit(mut self) -> Result<CommitInfo, TxError> {
+    ///
+    /// With [`EngineConfig::early_ack`](crate::EngineConfig::early_ack) (the
+    /// FaRMv2 default) this returns as soon as every COMMIT-BACKUP is acked
+    /// — the durability point — leaving the COMMIT-PRIMARY installs and the
+    /// truncation watermark to the background backlog.
+    pub fn commit(self) -> Result<CommitInfo, TxError> {
+        match self.prepare_commit() {
+            PreparedCommit::Done(result) => result,
+            PreparedCommit::InFlight(driver) => driver.run(),
+        }
+    }
+
+    /// Resolves the read-only fast path and plan building, handing back
+    /// either a decided outcome or a ready [`CommitDriver`]. The driver owns
+    /// the transaction's active-table registration, statistics and abort
+    /// bookkeeping from here on — this is the shared front half of
+    /// [`Transaction::commit`] and
+    /// [`CommitPipeline::submit`](crate::CommitPipeline::submit).
+    pub(crate) fn prepare_commit(mut self) -> PreparedCommit {
         let baseline = self.engine.config().mode.is_baseline();
         if !baseline && self.is_read_only() {
             // FaRMv2 read-only transactions skip validation entirely:
             // committing is a no-op (Section 4.2).
             self.finish();
             EngineStats::bump(&self.engine.stats.commits_ro);
-            return Ok(CommitInfo {
+            return PreparedCommit::Done(Ok(CommitInfo {
                 read_ts: self.read_ts,
                 write_ts: None,
-            });
+            }));
         }
 
         // Move the sets out of `self`: the driver owns them from here on
@@ -577,38 +640,23 @@ impl Transaction {
                     EngineStats::bump(&self.engine.stats.aborts_lock);
                     self.rollback_allocations();
                     self.alloc_set.clear();
-                    return Err(TxError::Aborted(reason));
+                    return PreparedCommit::Done(Err(TxError::Aborted(reason)));
                 }
             };
-        let driver = CommitDriver::new(
+        // Transfer the active-table registration to the driver: it stays
+        // live (pinning OAT at this transaction's read timestamp) until the
+        // driver seals, which may happen on another `advance` call when the
+        // commit rides a pipeline.
+        self.finished = true;
+        PreparedCommit::InFlight(Box::new(CommitDriver::new(
             Arc::clone(&self.engine),
             self.opts,
             self.read_ts,
             read_set,
             alloc_set,
             plan,
-        );
-        let outcome = driver.run();
-        self.finish();
-        match outcome {
-            Ok(Some(write_ts)) => {
-                EngineStats::bump(&self.engine.stats.commits_rw);
-                let read_ts = if baseline { 0 } else { self.read_ts };
-                Ok(CommitInfo {
-                    read_ts,
-                    write_ts: Some(write_ts),
-                })
-            }
-            Ok(None) => {
-                // Baseline read-only commit: validated, nothing installed.
-                EngineStats::bump(&self.engine.stats.commits_ro);
-                Ok(CommitInfo {
-                    read_ts: 0,
-                    write_ts: None,
-                })
-            }
-            Err(e) => Err(e),
-        }
+            self.active,
+        )))
     }
 
     // ------------------------------------------------------------------

@@ -242,6 +242,9 @@ fn tombstoned_slots_are_reclaimed_once_gc_passes() {
     let mut tx = node.begin();
     tx.free(addr).unwrap();
     tx.commit().unwrap();
+    // The commit early-acks at replication; settle the background install
+    // (which lays the tombstone down) before inspecting the region.
+    node.drain_pending_installs();
     assert_eq!(
         region.pending_tombstones(),
         1,

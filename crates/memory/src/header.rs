@@ -113,6 +113,19 @@ impl ObjectHeader {
         self.word0.store(0, Ordering::Release);
     }
 
+    /// Marks the slot as a tombstone at `ts` **without** the lock
+    /// discipline: the replica-side application of a replicated free.
+    /// Replicas carry no commit locks — mutual exclusion comes from the
+    /// per-destination log lock — and the tombstone must *retain* the
+    /// free's timestamp so an out-of-order delivery of an older write
+    /// record cannot resurrect the object.
+    pub fn mark_tombstone(&self, ts: u64) {
+        debug_assert!(ts <= TS_MASK);
+        self.ovp.store(NO_OVP, Ordering::Release);
+        self.word0
+            .store(ALLOC_BIT | TOMB_BIT | (ts & TS_MASK), Ordering::Release);
+    }
+
     /// Attempts to lock the object on behalf of a transaction that read it at
     /// timestamp `expected_ts`. Succeeds only if the object is allocated,
     /// unlocked, and its timestamp still equals `expected_ts` — the combined

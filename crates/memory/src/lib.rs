@@ -48,7 +48,7 @@ pub use addr::{Addr, BlockId, OldAddr, RegionId};
 pub use header::{HeaderSnapshot, ObjectHeader};
 pub use object::{ConsistentRead, InstallOutcome, LockOutcome, ObjectSlot};
 pub use oldver::{OldVersion, OldVersionStore, ThreadOldAllocator};
-pub use region::{BatchLockFailure, Region, RegionConfig, RegionStore};
+pub use region::{BatchLockFailure, Region, RegionConfig, RegionStore, LOCK_ANY_VERSION};
 pub use slab::{Slab, SlabError};
 
 /// Size classes used by the slab allocator, in bytes. Objects are rounded up

@@ -139,6 +139,30 @@ impl ObjectSlot {
         self.header.try_lock_any()
     }
 
+    /// Locks an **allocated, live** object regardless of its version — the
+    /// LOCK-phase primitive behind blind writes (updates without a prior
+    /// read): there is no read dependency to version-check, so only
+    /// liveness and lock availability matter. Freed or never-allocated
+    /// slots report [`LockOutcome::NotAllocated`].
+    pub fn try_lock_blind(&self) -> LockOutcome {
+        let h = self.header.snapshot();
+        if !h.allocated || h.tombstone {
+            return LockOutcome::NotAllocated;
+        }
+        if !self.header.try_lock_any() {
+            return LockOutcome::Conflict;
+        }
+        // Re-check under the lock: a free may have raced the liveness
+        // snapshot above (the version-checked path is immune to this — the
+        // free would have changed the timestamp).
+        let h = self.header.snapshot();
+        if !h.allocated || h.tombstone {
+            self.header.unlock();
+            return LockOutcome::NotAllocated;
+        }
+        LockOutcome::Acquired
+    }
+
     /// Releases the lock without installing (abort path of the coordinator).
     pub fn unlock(&self) {
         self.header.unlock();
@@ -186,6 +210,19 @@ impl ObjectSlot {
         self.header.mark_free();
         let mut guard = self.data.write();
         *guard = Bytes::new();
+    }
+
+    /// Replica-side free: records the free as a tombstone **carrying its
+    /// timestamp** (instead of zeroing the header) so a later out-of-order
+    /// delivery of an *older* write record cannot resurrect the object.
+    /// Replicas have no commit locks; callers serialize through the
+    /// replica's log lock.
+    pub fn mark_replica_tombstone(&self, ts: u64) {
+        {
+            let mut guard = self.data.write();
+            *guard = Bytes::new();
+        }
+        self.header.mark_tombstone(ts);
     }
 
     /// Raw payload clone regardless of header state (backup application and

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use arc_swap::ArcSwap;
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::addr::{Addr, RegionId};
@@ -84,6 +85,13 @@ pub struct BatchLockFailure {
     /// Why the lock attempt failed.
     pub outcome: LockOutcome,
 }
+
+/// Expected-timestamp sentinel marking a **blind write** in a lock batch:
+/// the transaction wrote the object without reading it, so the LOCK phase
+/// acquires at whatever version is installed ([`ObjectSlot::try_lock_blind`])
+/// instead of version-checking. Real timestamps are clock nanoseconds and
+/// can never reach this value.
+pub const LOCK_ANY_VERSION: u64 = u64::MAX;
 
 /// Number of tombstone shards per region. Commit-time tombstoning locks only
 /// the shard of the freed slot's slab, so concurrent frees to different slabs
@@ -245,9 +253,11 @@ impl Region {
     /// `entries` are `(address, expected timestamp)` pairs and must be sorted
     /// in ascending address order — the deterministic global acquisition
     /// order every coordinator uses (it prevents two committers from
-    /// acquiring overlapping sets in opposite orders). On the first conflict
-    /// all locks acquired by this batch are released and the failing address
-    /// is reported, so the caller can unwind batches already sent to other
+    /// acquiring overlapping sets in opposite orders). An expected timestamp
+    /// of [`LOCK_ANY_VERSION`] marks a blind write: the lock is taken at
+    /// whatever version is installed. On the first conflict all locks
+    /// acquired by this batch are released and the failing address is
+    /// reported, so the caller can unwind batches already sent to other
     /// primaries.
     pub fn try_lock_batch(
         &self,
@@ -260,13 +270,20 @@ impl Region {
         let mut acquired: Vec<Arc<ObjectSlot>> = Vec::with_capacity(entries.len());
         for &(addr, expected_ts) in entries {
             let outcome = match self.slot(addr) {
-                Ok(slot) => match slot.try_lock_at(expected_ts) {
-                    LockOutcome::Acquired => {
-                        acquired.push(slot);
-                        continue;
+                Ok(slot) => {
+                    let attempt = if expected_ts == LOCK_ANY_VERSION {
+                        slot.try_lock_blind()
+                    } else {
+                        slot.try_lock_at(expected_ts)
+                    };
+                    match attempt {
+                        LockOutcome::Acquired => {
+                            acquired.push(slot);
+                            continue;
+                        }
+                        other => other,
                     }
-                    other => other,
-                },
+                }
                 Err(_) => LockOutcome::NotAllocated,
             };
             // Roll back: release in reverse acquisition order.
@@ -305,6 +322,49 @@ impl Region {
                 }
             })
             .collect()
+    }
+
+    /// Applies one replicated commit record to this replica **idempotently
+    /// and order-insensitively**: the slot is (re)initialized with `data` at
+    /// `ts` unless the replica already holds a version at or past `ts`, and
+    /// a `free` record leaves a **timestamped tombstone** rather than
+    /// zeroing the header — so whichever order a free and an older write
+    /// arrive in (two coordinators' watermarks deliver independently), the
+    /// write can never resurrect the freed object. Replaying the same
+    /// record twice is a no-op. A slot later reused by an allocation is
+    /// revived by that allocation's (strictly newer) write record.
+    ///
+    /// `slab_size` mirrors the primary's slab layout ([`Region::ensure_slab`])
+    /// for slabs this replica has not materialized yet; 0 marks a record
+    /// whose primary-side slab could not be resolved and is skipped.
+    /// Replica bitmaps are not maintained per-write — they are rebuilt from
+    /// headers at promotion ([`Region::rebuild_allocation_state`]).
+    pub fn apply_replicated(
+        &self,
+        addr: Addr,
+        slab_size: usize,
+        ts: u64,
+        data: &Bytes,
+        free: bool,
+    ) {
+        if slab_size == 0 {
+            return;
+        }
+        let slab = self.ensure_slab(addr.slab, slab_size);
+        let Ok(slot) = slab.slot(addr.slot) else {
+            return;
+        };
+        let h = slot.header_snapshot();
+        if free {
+            // Applied even to a not-yet-written slot: the tombstone's
+            // timestamp is what blocks the object's older write record if
+            // it arrives afterwards.
+            if h.ts <= ts {
+                slot.mark_replica_tombstone(ts);
+            }
+        } else if !h.allocated || h.ts < ts {
+            slot.initialize(ts, data.clone());
+        }
     }
 
     /// Records that the slot at `addr` was tombstoned by a free committing at
@@ -649,6 +709,66 @@ mod tests {
         let (_, free_after) = r.occupancy();
         assert_eq!(free_after, free_before + 1);
         assert!(!r.slot(a).unwrap().header_snapshot().allocated);
+    }
+
+    #[test]
+    fn apply_replicated_is_idempotent_and_never_regresses() {
+        let r = Region::new(RegionId(1), RegionConfig::small());
+        let addr = Addr {
+            region: RegionId(1),
+            slab: 0,
+            slot: 0,
+        };
+        // First delivery materializes the slab and installs the version.
+        r.apply_replicated(addr, 64, 10, &Bytes::from_static(b"v10"), false);
+        let slot = r.slot(addr).unwrap();
+        assert_eq!(slot.header_snapshot().ts, 10);
+        // An older record arriving later (out-of-order watermark) is ignored.
+        r.apply_replicated(addr, 64, 5, &Bytes::from_static(b"v5"), false);
+        assert_eq!(slot.header_snapshot().ts, 10);
+        assert_eq!(&slot.raw_data()[..], b"v10");
+        // Replaying the same record is a no-op; a newer one wins.
+        r.apply_replicated(addr, 64, 10, &Bytes::from_static(b"dup"), false);
+        assert_eq!(&slot.raw_data()[..], b"v10");
+        r.apply_replicated(addr, 64, 12, &Bytes::from_static(b"v12"), false);
+        assert_eq!(slot.header_snapshot().ts, 12);
+        // A free below the installed version is ignored; at/above it leaves
+        // a timestamped tombstone (the free's own version).
+        r.apply_replicated(addr, 64, 11, &Bytes::new(), true);
+        assert!(!r.slot(addr).unwrap().header_snapshot().tombstone);
+        r.apply_replicated(addr, 64, 13, &Bytes::new(), true);
+        let h = r.slot(addr).unwrap().header_snapshot();
+        assert!(h.tombstone && h.ts == 13);
+        // The tombstone blocks an older write arriving after the free (two
+        // coordinators' watermarks deliver in either order) ...
+        r.apply_replicated(addr, 64, 12, &Bytes::from_static(b"stale"), false);
+        assert!(
+            r.slot(addr).unwrap().header_snapshot().tombstone,
+            "older write resurrected a freed object"
+        );
+        // ... and even a free delivered BEFORE the object's first write
+        // blocks that write.
+        let early = Addr {
+            region: RegionId(1),
+            slab: 0,
+            slot: 1,
+        };
+        r.apply_replicated(early, 64, 20, &Bytes::new(), true);
+        r.apply_replicated(early, 64, 19, &Bytes::from_static(b"late"), false);
+        assert!(r.slot(early).unwrap().header_snapshot().tombstone);
+        // A slot reused by a later allocation is revived by its strictly
+        // newer write record.
+        r.apply_replicated(addr, 64, 15, &Bytes::from_static(b"reuse"), false);
+        let h = r.slot(addr).unwrap().header_snapshot();
+        assert!(h.allocated && !h.tombstone && h.ts == 15);
+        // Size-0 records (unresolvable primary slab) are skipped entirely.
+        let other = Addr {
+            region: RegionId(1),
+            slab: 9,
+            slot: 0,
+        };
+        r.apply_replicated(other, 0, 1, &Bytes::from_static(b"x"), false);
+        assert!(r.slab(9).is_none());
     }
 
     #[test]

@@ -142,27 +142,55 @@ impl<'env, R: Send> CompletionSet<'env, R> {
     /// replication) should do that waiting **before** calling `complete`:
     /// the final deadline wait only covers whatever flight time remains.
     pub fn complete(self, mode: DispatchMode, stats: Option<&NetStats>) -> Vec<Completion<R>> {
+        let model = self.model;
+        let (out, deadline) = self.complete_deferred(mode, stats);
+        if let Some(deadline) = deadline {
+            model.wait_until(deadline);
+        }
+        out
+    }
+
+    /// Drains the set's **work** without paying the final deadline wait:
+    /// every closure runs now (in issue order, or on scoped threads under
+    /// [`DispatchMode::ConcurrentThreads`]) and the latest completion
+    /// deadline is returned to the caller, who owns the wait. This is the
+    /// primitive behind per-thread commit pipelining: one thread issues the
+    /// phases of several transactions and multiplexes their deadlines,
+    /// sleeping only until the earliest one instead of blocking inside each
+    /// set.
+    ///
+    /// [`DispatchMode::Serial`] is not deferrable — it interleaves waits
+    /// with closures by definition — so it pays its latency inline and
+    /// returns no deadline.
+    pub fn complete_deferred(
+        self,
+        mode: DispatchMode,
+        stats: Option<&NetStats>,
+    ) -> (Vec<Completion<R>>, Option<Instant>) {
         if let Some(stats) = stats {
             stats.note_inflight(self.pending.len() as u64);
         }
         match mode {
-            DispatchMode::Serial => self
-                .pending
-                .into_iter()
-                .map(|p| {
-                    // Pay this verb's full latency before touching the next
-                    // destination: the serial Σ-latency model.
-                    if p.latency_ns > 0 {
-                        self.model.wait_until(
-                            Instant::now() + std::time::Duration::from_nanos(p.latency_ns),
-                        );
-                    }
-                    Completion {
-                        dest: p.dest,
-                        value: (p.work)(),
-                    }
-                })
-                .collect(),
+            DispatchMode::Serial => {
+                let out = self
+                    .pending
+                    .into_iter()
+                    .map(|p| {
+                        // Pay this verb's full latency before touching the
+                        // next destination: the serial Σ-latency model.
+                        if p.latency_ns > 0 {
+                            self.model.wait_until(
+                                Instant::now() + std::time::Duration::from_nanos(p.latency_ns),
+                            );
+                        }
+                        Completion {
+                            dest: p.dest,
+                            value: (p.work)(),
+                        }
+                    })
+                    .collect();
+                (out, None)
+            }
             DispatchMode::Concurrent => {
                 let deadline = self.max_deadline();
                 let out: Vec<Completion<R>> = self
@@ -173,10 +201,7 @@ impl<'env, R: Send> CompletionSet<'env, R> {
                         value: (p.work)(),
                     })
                     .collect();
-                if let Some(deadline) = deadline {
-                    self.model.wait_until(deadline);
-                }
-                out
+                (out, deadline)
             }
             DispatchMode::ConcurrentThreads => {
                 let deadline = self.max_deadline();
@@ -192,14 +217,12 @@ impl<'env, R: Send> CompletionSet<'env, R> {
                         .map(|h| h.join().expect("verb work closure panicked"))
                         .collect()
                 });
-                if let Some(deadline) = deadline {
-                    self.model.wait_until(deadline);
-                }
-                dests
+                let out = dests
                     .into_iter()
                     .zip(values)
                     .map(|(dest, value)| Completion { dest, value })
-                    .collect()
+                    .collect();
+                (out, deadline)
             }
         }
     }
@@ -331,6 +354,30 @@ mod tests {
         let out = set.complete(DispatchMode::Concurrent, None);
         assert!(t.elapsed() < Duration::from_micros(400));
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn complete_deferred_runs_work_but_leaves_the_wait_to_the_caller() {
+        let m = model(300);
+        let mut set: CompletionSet<u32> = CompletionSet::new(m);
+        for i in 0..3u32 {
+            set.issue(NodeId(i), Verb::RdmaWrite, move || i + 1);
+        }
+        let t = Instant::now();
+        let (out, deadline) = set.complete_deferred(DispatchMode::Concurrent, None);
+        // The work ran (results present) but the ~300 µs flight was not paid.
+        assert!(t.elapsed() < Duration::from_micros(200));
+        assert_eq!(out.iter().map(|c| c.value).sum::<u32>(), 6);
+        let deadline = deadline.expect("non-zero latency yields a deadline");
+        m.wait_until(deadline);
+        assert!(t.elapsed() >= Duration::from_micros(290));
+        // Serial mode pays inline and reports no deadline.
+        let mut set: CompletionSet<()> = CompletionSet::new(m);
+        set.issue(NodeId(0), Verb::RdmaWrite, || ());
+        let t = Instant::now();
+        let (_, deadline) = set.complete_deferred(DispatchMode::Serial, None);
+        assert!(deadline.is_none());
+        assert!(t.elapsed() >= Duration::from_micros(290));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for BENCH_commit_pipeline.json.
+
+Fails CI when the early-ack commit critical path regresses:
+
+* serializable fanout 4-primary p50 must stay at or below the checked-in
+  threshold (the PR-5 acceptance bound; PR-4 measured ~27 us, early-ack
+  lands ~15-17 us, so 18 us holds comfortable slack for shared runners);
+* fanout dispatch must send zero standalone TRUNCATE messages on the
+  serializable rows (truncation piggybacks as a watermark);
+* the deepest pipeline row must beat the synchronous depth-1 baseline by
+  the CI floor (the full-length run yields ~3.5x; CI runs are short and
+  share cores, so the gate is looser than the acceptance target).
+
+Usage: check_bench_regression.py BENCH_commit_pipeline.json
+"""
+
+import json
+import sys
+
+MAX_FANOUT4_P50_US = 18.0
+MIN_PIPELINE_SPEEDUP = 2.0
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        data = json.load(f)
+    failures = []
+
+    fanout4 = [
+        r
+        for r in data["rows"]
+        if r["dispatch"] == "fanout"
+        and r["isolation"] == "serializable"
+        and r["primaries"] == 4
+    ]
+    if not fanout4:
+        failures.append("no serializable fanout 4-primary row found")
+    else:
+        p50 = fanout4[0]["p50_us"]
+        if p50 > MAX_FANOUT4_P50_US:
+            failures.append(
+                f"serializable fanout 4-primary p50 regressed: "
+                f"{p50} us > {MAX_FANOUT4_P50_US} us"
+            )
+
+    for r in data["rows"]:
+        if r["dispatch"] == "fanout" and r["isolation"] == "serializable":
+            msgs = r.get("standalone_truncate_msgs", 0)
+            if msgs != 0:
+                failures.append(
+                    f"fanout {r['primaries']}-primary sent {msgs} standalone "
+                    f"TRUNCATE messages (truncation must piggyback)"
+                )
+
+    pipeline = data.get("pipeline_throughput", [])
+    if len(pipeline) < 2:
+        failures.append("pipeline_throughput sweep missing or too short")
+    else:
+        deepest = max(pipeline, key=lambda r: r["depth"])
+        speedup = deepest["speedup_vs_depth_1"]
+        if speedup < MIN_PIPELINE_SPEEDUP:
+            failures.append(
+                f"pipeline depth {deepest['depth']} speedup {speedup}x "
+                f"below the {MIN_PIPELINE_SPEEDUP}x CI floor"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"BENCH REGRESSION: {f}", file=sys.stderr)
+        return 1
+    p50 = fanout4[0]["p50_us"]
+    deepest = max(pipeline, key=lambda r: r["depth"])
+    print(
+        f"bench guard OK: fanout4 p50 {p50} us <= {MAX_FANOUT4_P50_US}, "
+        f"0 standalone truncates, pipeline depth {deepest['depth']} "
+        f"speedup {deepest['speedup_vs_depth_1']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_commit_pipeline.json"))
