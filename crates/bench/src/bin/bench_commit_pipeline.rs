@@ -1,5 +1,5 @@
 //! Commit-pipeline latency: serial vs fan-out dispatch under
-//! `LatencyModel::datacenter()`.
+//! `LatencyModel::datacenter()`, plus the pipeline-scaling sweeps.
 //!
 //! Measures the commit latency of write transactions touching 1 / 2 / 4
 //! destination primaries (each region 3-way replicated, so 2 backups per
@@ -15,24 +15,33 @@
 //! piggybacked as a watermark on later verbs — the per-row
 //! `standalone_truncate_msgs` column must stay 0 under this traffic.
 //!
-//! A second sweep (`--pipeline-depth N`, default 8) measures single-thread
-//! committed-transaction throughput at pipeline depths 1..=N: one worker
-//! keeps up to `depth` disjoint write transactions in their critical paths
-//! through [`farm_core::CommitPipeline`], so throughput scales toward
-//! `depth / max-phase-latency` instead of `1 / commit-latency`.
+//! Three scaling sweeps follow:
 //!
-//! Emits `BENCH_commit_pipeline.json` with p50/p99 commit latencies, the
-//! per-phase wall-clock histograms (the overlap evidence: under fan-out the
-//! `acquire_write_ts` phase collapses to ~0 and its wait reappears inside
-//! `replicate_backups`, bounded by `max` rather than added), the overlapped
-//! fraction of the uncertainty wait, the in-flight verb high-water mark,
-//! and the pipeline-depth throughput rows.
+//! * **`pipeline_throughput`** (legacy axis): single-worker reactor
+//!   throughput at depths 1..=N under the *datacenter* model. On this host
+//!   it plateaus at depth >= 4 — the per-flight cycle accounting shows why:
+//!   the serial fraction (issue CPU / wall) approaches 1, i.e. the single
+//!   thread is CPU-saturated, not latency-bound.
+//! * **`reactor_sweep`** (`depth × workers`, up to 32 in flight): the same
+//!   measurement under a 10× flight model (rdma_read 25 µs, write 30 µs,
+//!   rpc 70 µs — waits sleep instead of spinning), the regime the reactor
+//!   is built for. Here added depth keeps paying well past 8, and a
+//!   [`farm_core::PipelinePool`] with work-stealing matches or beats the
+//!   depth-matched single reactor even on one core (an awake worker steals
+//!   flights whose owner is still in a sleep-overshoot).
+//! * **`amdahl`**: the measured serial fraction `s` from the cycle
+//!   accounting, the protocol CPU per transaction it implies, and the
+//!   predicted multi-core speedup `S(N) = 1/(s + (1-s)/N)` — the
+//!   bench's answer, from a 1-CPU host, to "what would more cores buy?".
+//!
+//! Emits `BENCH_commit_pipeline.json`; `scripts/check_bench_regression.py`
+//! gates on it in CI.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use farm_bench::bench_duration;
-use farm_core::{Engine, EngineConfig, NodeId, TxOptions};
+use farm_core::{Engine, EngineConfig, NodeId, PipelineTimings, PoolConfig, TxOptions};
 use farm_kernel::ClusterConfig;
 use farm_memory::{Addr, RegionId};
 use farm_net::{DispatchMode, LatencyModel, PhaseHistogramSnapshot, PhaseLabel};
@@ -57,11 +66,22 @@ struct Row {
     phases: Vec<(PhaseLabel, f64, f64, f64)>, // (label, mean, p50, p99) µs
 }
 
-/// One pipeline-depth throughput measurement (single worker thread).
-struct PipelineRow {
-    depth: usize,
+/// One reactor / pool throughput measurement.
+struct ReactorRow {
+    workers: usize,
+    depth_per_worker: usize,
+    total_inflight: usize,
     txns_per_sec: f64,
-    p50_us: f64,
+    /// Submit-to-result p50 (single-worker rows only; a pool completes in
+    /// cross-worker completion order, so per-submit latency is not tracked).
+    p50_us: Option<f64>,
+    serial_fraction: f64,
+    cpu_us_per_txn: f64,
+    steals: u64,
+    steal_drains: u64,
+    wakeups: u64,
+    coalesced: u64,
+    aborted: u64,
 }
 
 fn main() {
@@ -107,37 +127,78 @@ fn main() {
             }
         }
     }
-    let depths: Vec<usize> = [1usize, 2, 4, 8, 16]
+
+    // Legacy axis: single-worker reactor under the datacenter model. The
+    // serial-fraction column is the plateau diagnosis: it approaches 1 as
+    // depth grows — the thread runs out of CPU, not out of depth.
+    println!("pipeline_depth,txns_per_sec,p50_us,serial_fraction");
+    let legacy_rows: Vec<ReactorRow> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&d| d <= max_depth)
-        .collect();
-    println!("pipeline_depth,txns_per_sec,p50_us");
-    let pipeline_rows: Vec<PipelineRow> = depths
-        .into_iter()
         .map(|depth| {
-            let row = run_pipeline_depth(depth);
-            println!("{},{:.0},{:.1}", row.depth, row.txns_per_sec, row.p50_us);
+            let row = run_reactor(1, depth, 1);
+            println!(
+                "{},{:.0},{:.1},{:.3}",
+                row.depth_per_worker,
+                row.txns_per_sec,
+                row.p50_us.unwrap_or(0.0),
+                row.serial_fraction
+            );
             row
         })
         .collect();
-    let json = to_json(&rows, &pipeline_rows, iters);
+
+    // The reactor regime: a 10x flight model where waits sleep. Single
+    // worker to 32 in flight, then worker pools at matched total depth.
+    const SCALE: u64 = 10;
+    println!(
+        "workers,depth_per_worker,total_inflight,txns_per_sec,serial_fraction,steals,steal_drains"
+    );
+    let mut reactor_rows: Vec<ReactorRow> = Vec::new();
+    for (workers, depth) in [
+        (1usize, 1usize),
+        (1, 2),
+        (1, 4),
+        (1, 8),
+        (1, 16),
+        (1, 32),
+        (2, 8),
+        (4, 4),
+        (2, 16),
+        (4, 8),
+    ] {
+        let row = run_reactor(workers, depth, SCALE);
+        println!(
+            "{},{},{},{:.0},{:.3},{},{}",
+            row.workers,
+            row.depth_per_worker,
+            row.total_inflight,
+            row.txns_per_sec,
+            row.serial_fraction,
+            row.steals,
+            row.steal_drains
+        );
+        reactor_rows.push(row);
+    }
+
+    let json = to_json(&rows, &legacy_rows, &reactor_rows, SCALE, iters);
     std::fs::write("BENCH_commit_pipeline.json", &json).expect("write BENCH_commit_pipeline.json");
     eprintln!("wrote BENCH_commit_pipeline.json");
 }
 
-/// Single-thread committed-txns/sec at one pipeline depth: one worker keeps
-/// `depth` disjoint single-primary write transactions in flight under
-/// datacenter latency. Addresses cycle through a pool much larger than the
-/// depth, so a reused object's previous commit has long completed (and its
-/// install, if still pending, is resolved by helping).
+/// Committed-txns/sec for `workers` pipeline workers at `depth_per_worker`,
+/// under the datacenter latency model scaled by `scale` (1 = datacenter:
+/// waits under the spin threshold spin; 10 = long flights: waits sleep).
 ///
-/// Depth 1 is the **synchronous baseline** — one `commit()` at a time, the
-/// `1 / commit-latency` bound the pipeline exists to break. Transactions
-/// are non-strict serializable (read snapshot at the interval lower bound,
-/// no begin wait; the commit-time uncertainty wait is unchanged and still
-/// overlaps replication), the configuration FaRM uses when per-thread
-/// throughput is the goal.
-fn run_pipeline_depth(depth: usize) -> PipelineRow {
+/// `workers == 1` drives a [`CommitPipeline`](farm_core::CommitPipeline) on
+/// the caller thread (depth 1 is then the synchronous baseline — the
+/// `1 / commit-latency` bound the pipeline exists to break, paid through
+/// the same reactor code path). `workers > 1` drives a
+/// [`PipelinePool`](farm_core::PipelinePool). Transactions are non-strict
+/// serializable disjoint single-primary writes; addresses cycle through a
+/// pool far larger than the in-flight bound, so a reused object's previous
+/// commit has long completed.
+fn run_reactor(workers: usize, depth_per_worker: usize, scale: u64) -> ReactorRow {
     let cluster_cfg = ClusterConfig {
         nodes: 6,
         replication: 3,
@@ -146,9 +207,18 @@ fn run_pipeline_depth(depth: usize) -> PipelineRow {
         control_interval: std::time::Duration::from_micros(500),
         ..ClusterConfig::default()
     };
+    let base = LatencyModel::datacenter();
     let engine_cfg = EngineConfig {
         dispatch: DispatchMode::Concurrent,
-        latency: LatencyModel::datacenter(),
+        latency: LatencyModel {
+            rdma_read_ns: base.rdma_read_ns * scale,
+            rdma_write_ns: base.rdma_write_ns * scale,
+            rpc_ns: base.rpc_ns * scale,
+            ..base
+        },
+        // The coalescing window scales with the flight model: batch every
+        // deadline within ~2 µs per unit of scale.
+        pipeline_wake_quantum: Duration::from_micros(2 * scale),
         ..EngineConfig::default()
     };
     let engine = Engine::start_cluster(cluster_cfg, engine_cfg);
@@ -156,7 +226,7 @@ fn run_pipeline_depth(depth: usize) -> PipelineRow {
     let node = engine.node(coordinator);
     let region = pick_regions(&engine, coordinator, 1)[0];
 
-    const POOL: usize = 128;
+    const POOL: usize = 256;
     let mut setup = node.begin();
     let pool: Vec<Addr> = (0..POOL)
         .map(|_| setup.alloc_in(region, vec![0u8; 64]).unwrap())
@@ -168,66 +238,137 @@ fn run_pipeline_depth(depth: usize) -> PipelineRow {
     // than allocating a fresh vector per transaction.
     let payloads: Vec<bytes::Bytes> = (0..16u8).map(|v| bytes::Bytes::from(vec![v; 64])).collect();
 
-    // Warmup.
-    let mut pipeline = node.pipeline(depth);
-    for &addr in pool.iter().take(2 * depth.max(4)) {
-        let mut tx = node.begin_with(opts);
-        tx.overwrite(addr, payloads[0].clone()).unwrap();
-        pipeline.submit(tx);
-    }
-    pipeline.drain();
-
+    let total_inflight = workers * depth_per_worker;
     let duration = bench_duration(1.0);
-    let start = Instant::now();
-    let mut submitted = 0usize;
     let mut committed = 0u64;
-    let mut lat_us: Vec<f64> = Vec::new();
-    let mut submit_times: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
-    while start.elapsed() < duration {
-        let addr = pool[submitted % POOL];
-        let mut tx = node.begin_with(opts);
-        tx.overwrite(addr, payloads[submitted % 16].clone())
-            .unwrap();
-        submitted += 1;
-        if depth == 1 {
-            // Synchronous baseline: the thread pays the whole critical path.
-            let t = Instant::now();
-            if tx.commit().is_ok() {
-                committed += 1;
-                lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
-            }
-            continue;
+    let mut aborted = 0u64;
+    let (timings, p50_us, elapsed, steals, steal_drains): (
+        PipelineTimings,
+        Option<f64>,
+        f64,
+        u64,
+        u64,
+    );
+
+    if workers == 1 {
+        let mut pipeline = node.pipeline(depth_per_worker);
+        for &addr in pool.iter().take(2 * depth_per_worker.max(4)) {
+            let mut tx = node.begin_with(opts);
+            tx.overwrite(addr, payloads[0].clone()).unwrap();
+            pipeline.submit(tx);
         }
-        submit_times.push_back(Instant::now());
-        pipeline.submit(tx);
-        for result in pipeline.take() {
+        pipeline.drain();
+        let warmed = pipeline.timings();
+
+        let start = Instant::now();
+        let mut submitted = 0usize;
+        let mut lat_us: Vec<f64> = Vec::new();
+        let mut submit_times: std::collections::VecDeque<Instant> =
+            std::collections::VecDeque::new();
+        while start.elapsed() < duration {
+            let addr = pool[submitted % POOL];
+            let mut tx = node.begin_with(opts);
+            tx.overwrite(addr, payloads[submitted % 16].clone())
+                .unwrap();
+            submitted += 1;
+            submit_times.push_back(Instant::now());
+            pipeline.submit(tx);
+            for result in pipeline.take() {
+                let t = submit_times.pop_front().expect("one submit per result");
+                if result.is_ok() {
+                    committed += 1;
+                    lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+                } else {
+                    aborted += 1;
+                }
+            }
+        }
+        for result in pipeline.drain() {
             let t = submit_times.pop_front().expect("one submit per result");
             if result.is_ok() {
                 committed += 1;
                 lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
+            } else {
+                aborted += 1;
             }
         }
-    }
-    for result in pipeline.drain() {
-        let t = submit_times.pop_front().expect("one submit per result");
-        if result.is_ok() {
-            committed += 1;
-            lat_us.push(t.elapsed().as_nanos() as f64 / 1_000.0);
-        }
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let p50 = if lat_us.is_empty() {
-        0.0
+        elapsed = start.elapsed().as_secs_f64();
+        lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        p50_us = if lat_us.is_empty() {
+            None
+        } else {
+            Some(lat_us[(lat_us.len() - 1) / 2])
+        };
+        let mut t = pipeline.timings();
+        // Subtract the warmup so the accounting covers the measured window.
+        t.issue_ns -= warmed.issue_ns;
+        t.wait_ns -= warmed.wait_ns;
+        t.drain_ns -= warmed.drain_ns;
+        t.completed -= warmed.completed;
+        timings = t;
+        steals = 0;
+        steal_drains = 0;
     } else {
-        lat_us[(lat_us.len() - 1) / 2]
-    };
+        let pipeline_pool = node.pipeline_pool(PoolConfig::new(workers, depth_per_worker));
+        for &addr in pool.iter().take(2 * total_inflight.max(4)) {
+            let mut tx = node.begin_with(opts);
+            tx.overwrite(addr, payloads[0].clone()).unwrap();
+            pipeline_pool.submit(tx);
+        }
+        pipeline_pool.drain();
+        let warmed = pipeline_pool.stats();
+
+        let start = Instant::now();
+        let mut submitted = 0usize;
+        while start.elapsed() < duration {
+            let addr = pool[submitted % POOL];
+            let mut tx = node.begin_with(opts);
+            tx.overwrite(addr, payloads[submitted % 16].clone())
+                .unwrap();
+            submitted += 1;
+            pipeline_pool.submit(tx);
+        }
+        for result in pipeline_pool.drain() {
+            if result.is_ok() {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+        elapsed = start.elapsed().as_secs_f64();
+        let stats = pipeline_pool.stats();
+        let mut t = stats.timings;
+        t.issue_ns -= warmed.timings.issue_ns;
+        t.wait_ns -= warmed.timings.wait_ns;
+        t.drain_ns -= warmed.timings.drain_ns;
+        t.steal_ns -= warmed.timings.steal_ns;
+        t.completed -= warmed.timings.completed;
+        timings = t;
+        steals = stats.steals - warmed.steals;
+        steal_drains = stats.steal_drains - warmed.steal_drains;
+        p50_us = None;
+    }
+
     engine.shutdown();
     engine.cluster().shutdown();
-    PipelineRow {
-        depth,
+    let cpu_us_per_txn = if timings.completed == 0 {
+        0.0
+    } else {
+        timings.busy_ns() as f64 / timings.completed as f64 / 1_000.0
+    };
+    ReactorRow {
+        workers,
+        depth_per_worker,
+        total_inflight,
         txns_per_sec: committed as f64 / elapsed,
-        p50_us: p50,
+        p50_us,
+        serial_fraction: timings.serial_fraction(),
+        cpu_us_per_txn,
+        steals,
+        steal_drains,
+        wakeups: timings.wakeups,
+        coalesced: timings.coalesced,
+        aborted,
     }
 }
 
@@ -371,8 +512,40 @@ fn cluster_phase_snapshot(engine: &Arc<Engine>) -> PhaseHistogramSnapshot {
         .fold(PhaseHistogramSnapshot::default(), |acc, s| acc.merged(&s))
 }
 
+fn reactor_row_json(r: &ReactorRow, base_tps: f64) -> String {
+    let p50 = r
+        .p50_us
+        .map(|v| format!("{v:.1}"))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "    {{\"workers\": {}, \"depth_per_worker\": {}, \"total_inflight\": {}, \
+         \"txns_per_sec\": {:.0}, \"p50_us\": {}, \"speedup_vs_1\": {:.2}, \
+         \"serial_fraction\": {:.3}, \"cpu_us_per_txn\": {:.2}, \"steals\": {}, \
+         \"steal_drains\": {}, \"wakeups\": {}, \"coalesced_flights\": {}, \"aborted\": {}}}",
+        r.workers,
+        r.depth_per_worker,
+        r.total_inflight,
+        r.txns_per_sec,
+        p50,
+        r.txns_per_sec / base_tps.max(f64::MIN_POSITIVE),
+        r.serial_fraction,
+        r.cpu_us_per_txn,
+        r.steals,
+        r.steal_drains,
+        r.wakeups,
+        r.coalesced,
+        r.aborted
+    )
+}
+
 /// Hand-rolled JSON (the workspace builds offline; no serde).
-fn to_json(rows: &[Row], pipeline_rows: &[PipelineRow], iters: usize) -> String {
+fn to_json(
+    rows: &[Row],
+    legacy_rows: &[ReactorRow],
+    reactor_rows: &[ReactorRow],
+    scale: u64,
+    iters: usize,
+) -> String {
     let find = |iso: &str, dispatch: &str, primaries: usize| {
         rows.iter()
             .find(|r| r.isolation == iso && r.dispatch == dispatch && r.primaries == primaries)
@@ -424,29 +597,99 @@ fn to_json(rows: &[Row], pipeline_rows: &[PipelineRow], iters: usize) -> String 
             )
         })
         .collect();
-    let pipeline_json: Vec<String> = pipeline_rows
+    let legacy_base = legacy_rows
+        .first()
+        .map(|b| b.txns_per_sec)
+        .unwrap_or(0.0)
+        .max(f64::MIN_POSITIVE);
+    let pipeline_json: Vec<String> = legacy_rows
         .iter()
         .map(|r| {
-            let base = pipeline_rows
-                .first()
-                .map(|b| b.txns_per_sec)
-                .unwrap_or(0.0)
-                .max(f64::MIN_POSITIVE);
             format!(
                 "    {{\"depth\": {}, \"txns_per_sec\": {:.0}, \"p50_us\": {:.1}, \
-                 \"speedup_vs_depth_1\": {:.2}}}",
-                r.depth,
+                 \"speedup_vs_depth_1\": {:.2}, \"serial_fraction\": {:.3}}}",
+                r.depth_per_worker,
                 r.txns_per_sec,
-                r.p50_us,
-                r.txns_per_sec / base
+                r.p50_us.unwrap_or(0.0),
+                r.txns_per_sec / legacy_base,
+                r.serial_fraction
             )
         })
         .collect();
-    let fanout_standalone_truncates: u64 = rows
+    let reactor_base = reactor_rows
         .iter()
-        .filter(|r| r.dispatch == "fanout")
-        .map(|r| r.truncate_standalone)
-        .sum();
+        .find(|r| r.workers == 1 && r.depth_per_worker == 1)
+        .map(|r| r.txns_per_sec)
+        .unwrap_or(0.0)
+        .max(f64::MIN_POSITIVE);
+    let reactor_json: Vec<String> = reactor_rows
+        .iter()
+        .map(|r| reactor_row_json(r, reactor_base))
+        .collect();
+
+    // Pool-vs-single comparison at matched total in-flight depth.
+    let single_at = |total: usize| {
+        reactor_rows
+            .iter()
+            .find(|r| r.workers == 1 && r.total_inflight == total)
+    };
+    let pool_vs_single: Vec<String> = reactor_rows
+        .iter()
+        .filter(|r| r.workers > 1)
+        .filter_map(|p| {
+            let s = single_at(p.total_inflight)?;
+            Some(format!(
+                "    {{\"workers\": {}, \"total_inflight\": {}, \"pool_txns_per_sec\": {:.0}, \
+                 \"single_txns_per_sec\": {:.0}, \"ratio\": {:.3}}}",
+                p.workers,
+                p.total_inflight,
+                p.txns_per_sec,
+                s.txns_per_sec,
+                p.txns_per_sec / s.txns_per_sec.max(f64::MIN_POSITIVE)
+            ))
+        })
+        .collect();
+
+    // Amdahl: serial fractions from the cycle accounting, on two axes.
+    //
+    // Depth axis: pipelining overlaps the flight (wait) fraction across
+    // transactions while the coordinator CPU stays serialized on one
+    // thread, so predicted depth-d speedup is S(d) = 1/(s1 + (1-s1)/d)
+    // with s1 the serial fraction measured at depth 1, asymptote 1/s1 —
+    // this is the quantitative plateau explanation.
+    //
+    // Core axis: at a fixed total in-flight window, N worker cores divide
+    // the busy fraction and leave the (already overlapped) wait fraction,
+    // so predicted speedup is S(N) = 1/((1-s) + s/N) with s the serial
+    // fraction at the deepest single-worker row. Datacenter s -> 1 makes
+    // that linear in N: the plateau is pure CPU, only cores lift it.
+    let legacy_deepest = legacy_rows.iter().max_by_key(|r| r.depth_per_worker);
+    let s1_dc = legacy_rows
+        .iter()
+        .find(|r| r.depth_per_worker == 1)
+        .map(|r| r.serial_fraction)
+        .unwrap_or(1.0);
+    let s_datacenter = legacy_deepest.map(|r| r.serial_fraction).unwrap_or(1.0);
+    let dc_depth = legacy_deepest.map(|r| r.depth_per_worker).unwrap_or(1);
+    let dc_measured = legacy_deepest
+        .map(|r| r.txns_per_sec / legacy_base)
+        .unwrap_or(1.0);
+    let cpu_us_dc = legacy_deepest.map(|r| r.cpu_us_per_txn).unwrap_or(0.0);
+    let deep = reactor_rows
+        .iter()
+        .filter(|r| r.workers == 1)
+        .max_by_key(|r| r.depth_per_worker);
+    let s1_lf = reactor_rows
+        .iter()
+        .find(|r| r.workers == 1 && r.depth_per_worker == 1)
+        .map(|r| r.serial_fraction)
+        .unwrap_or(1.0);
+    let s_longflight = deep.map(|r| r.serial_fraction).unwrap_or(1.0);
+    let lf_depth = deep.map(|r| r.depth_per_worker).unwrap_or(1);
+    let lf_measured = deep.map(|r| r.txns_per_sec / reactor_base).unwrap_or(1.0);
+    let depth_predict = |s1: f64, d: f64| 1.0 / (s1 + (1.0 - s1) / d);
+    let core_predict = |s: f64, n: f64| 1.0 / ((1.0 - s) + s / n);
+
     format!(
         "{{\n  \"benchmark\": \"bench_commit_pipeline\",\n  \
          \"latency_model\": \"datacenter (rdma_read 2.5us, rdma_write 3us, rpc 7us)\",\n  \
@@ -467,7 +710,43 @@ fn to_json(rows: &[Row], pipeline_rows: &[PipelineRow], iters: usize) -> String 
          \"speedup_p50_snapshot_isolation\": {{\"1_primary\": {:.2}, \"2_primary\": {:.2}, \
          \"4_primary\": {:.2}}},\n  \
          \"fanout_standalone_truncate_msgs\": {},\n  \
-         \"pipeline_throughput\": [\n{}\n  ]\n}}\n",
+         \"pipeline_throughput\": [\n{}\n  ],\n  \
+         \"reactor_sweep\": {{\n    \
+         \"latency_model\": \"datacenter x{} (rdma_read {}us, rdma_write {}us, rpc {}us); \
+         waits exceed the spin threshold and sleep\",\n    \
+         \"note\": \"the deadline-heap reactor regime: single-worker depth up to 32, then \
+         PipelinePool rows (workers > 1) at matched total in-flight depth. serial_fraction \
+         = busy/(busy+wait) from per-flight cycle accounting; steals = expired flights \
+         advanced by a non-owner worker; steal_drains = install-backlog chunks drained by \
+         idle workers\",\n    \
+         \"rows\": [\n{}\n    ]\n  }},\n  \
+         \"pool_vs_single\": [\n{}\n  ],\n  \
+         \"amdahl\": {{\n    \
+         \"note\": \"serial fractions measured from reactor cycle accounting \
+         (busy/(busy+wait)). Depth axis: pipelining overlaps the flight fraction while the \
+         coordinator CPU stays serialized, S(d) = 1/(s1 + (1-s1)/d), asymptote 1/s1 — the \
+         datacenter sweep plateaus at depth >= 4 because its asymptote is ~3x and s -> 1 \
+         there (one host CPU saturated by protocol work, not waiting on flights). Core \
+         axis: at fixed total depth, N cores divide the busy fraction, \
+         S(N) = 1/((1-s) + s/N); datacenter s = 1 makes that linear in N, which is what \
+         more cores would buy. The x{} flight model keeps s low, which is why depth keeps \
+         paying to 32 and the work-stealing pool matches or beats the depth-matched single \
+         reactor even on this 1-CPU host.\",\n    \
+         \"depth_scaling\": {{\n      \
+         \"datacenter\": {{\"serial_fraction_depth1\": {:.3}, \"asymptote\": {:.2}, \
+         \"predicted_speedup_deepest\": {:.2}, \"measured_speedup_deepest\": {:.2}, \
+         \"deepest\": {}}},\n      \
+         \"longflight\": {{\"serial_fraction_depth1\": {:.3}, \"asymptote\": {:.2}, \
+         \"predicted_speedup_deepest\": {:.2}, \"measured_speedup_deepest\": {:.2}, \
+         \"deepest\": {}}}\n    }},\n    \
+         \"core_scaling\": {{\n      \
+         \"serial_fraction_datacenter_deepest\": {:.3},\n      \
+         \"serial_fraction_longflight_deepest\": {:.3},\n      \
+         \"protocol_cpu_us_per_txn\": {:.2},\n      \
+         \"predicted_multicore_speedup_datacenter\": {{\"2\": {:.2}, \"4\": {:.2}, \
+         \"8\": {:.2}}},\n      \
+         \"predicted_multicore_speedup_longflight\": {{\"2\": {:.2}, \"4\": {:.2}, \
+         \"8\": {:.2}}}\n    }}\n  }}\n}}\n",
         iters,
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -479,7 +758,36 @@ fn to_json(rows: &[Row], pipeline_rows: &[PipelineRow], iters: usize) -> String 
         speedup("snapshot_isolation", 1),
         speedup("snapshot_isolation", 2),
         speedup("snapshot_isolation", 4),
-        fanout_standalone_truncates,
+        rows.iter()
+            .filter(|r| r.dispatch == "fanout")
+            .map(|r| r.truncate_standalone)
+            .sum::<u64>(),
         pipeline_json.join(",\n"),
+        scale,
+        LatencyModel::datacenter().rdma_read_ns * scale / 1_000,
+        LatencyModel::datacenter().rdma_write_ns * scale / 1_000,
+        LatencyModel::datacenter().rpc_ns * scale / 1_000,
+        reactor_json.join(",\n"),
+        pool_vs_single.join(",\n"),
+        scale,
+        s1_dc,
+        1.0 / s1_dc.max(f64::MIN_POSITIVE),
+        depth_predict(s1_dc, dc_depth as f64),
+        dc_measured,
+        dc_depth,
+        s1_lf,
+        1.0 / s1_lf.max(f64::MIN_POSITIVE),
+        depth_predict(s1_lf, lf_depth as f64),
+        lf_measured,
+        lf_depth,
+        s_datacenter,
+        s_longflight,
+        cpu_us_dc,
+        core_predict(s_datacenter, 2.0),
+        core_predict(s_datacenter, 4.0),
+        core_predict(s_datacenter, 8.0),
+        core_predict(s_longflight, 2.0),
+        core_predict(s_longflight, 4.0),
+        core_predict(s_longflight, 8.0),
     )
 }

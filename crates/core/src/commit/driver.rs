@@ -233,6 +233,19 @@ pub struct CommitDriver {
     completed: bool,
 }
 
+/// A parked driver may be stolen by another [`PipelinePool`] worker and
+/// advanced there: the state machine has no thread affinity (every phase is
+/// an issue/finish pair against engine-shared state), so moving the box
+/// moves everything. This assertion is what makes work-stealing sound — if
+/// a future field breaks `Send`, stealing must be removed, not worked
+/// around.
+///
+/// [`PipelinePool`]: crate::PipelinePool
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CommitDriver>();
+};
+
 impl CommitDriver {
     /// Builds a driver over an already-built plan. The driver owns the
     /// transaction's active-table registration from here on.

@@ -21,7 +21,11 @@
 //!   verbs instead of standalone TRUNCATE messages.
 //! * [`pipeline`] — the per-thread [`CommitPipeline`]: one worker keeps up
 //!   to `depth` transactions in their commit critical paths at once,
-//!   multiplexing their completion deadlines.
+//!   multiplexing their completion deadlines through a deadline-heap
+//!   reactor.
+//! * [`pool`] — the multi-worker [`PipelinePool`]: N pipeline workers fed
+//!   from a bounded submit ring, work-stealing expired flights and
+//!   install-backlog chunks from each other.
 //! * [`unwind`] — the single abort path: every failure releases all locks
 //!   held across every destination and rolls back allocations.
 //!
@@ -32,8 +36,10 @@ pub(crate) mod backlog;
 pub mod driver;
 pub mod pipeline;
 pub mod plan;
+pub mod pool;
 mod unwind;
 
 pub use driver::{CommitDriver, CommitPhase};
-pub use pipeline::CommitPipeline;
+pub use pipeline::{CommitPipeline, PipelineTimings};
 pub use plan::{CommitPlan, DestinationBatch, IntentKind, RegionGroup, WriteIntent};
+pub use pool::{PipelinePool, PoolConfig, PoolStats};

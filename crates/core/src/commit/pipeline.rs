@@ -9,31 +9,137 @@
 //! completion queues. [`CommitPipeline`] reproduces that: each submitted
 //! transaction's [`CommitDriver`](super::CommitDriver) is stepped with
 //! [`advance`](super::CommitDriver::advance), which *returns* its phase
-//! deadlines instead of blocking on them, and the pipeline sleeps only
-//! until the **earliest** deadline across all in-flight commits — so
-//! per-thread throughput scales toward `depth / max-phase-latency` instead
-//! of `1 / total-latency`. Dead time (every in-flight commit waiting on the
-//! wire) is spent draining the engine's pending-install backlog, exactly
-//! where a real worker would process its completion-queue backlog.
+//! deadlines instead of blocking on them, so per-thread throughput scales
+//! toward `depth / max-phase-latency` instead of `1 / total-latency`.
+//!
+//! The scheduler is a **deadline-heap reactor**: waiting flights sit in a
+//! binary min-heap ordered by wake deadline, so a sweep pops only the
+//! expired prefix — O(ready · log n), not O(depth) — and reads the clock
+//! once per sweep instead of once per flight. When every flight is on the
+//! wire the reactor sleeps once for the whole *batch* of deadlines that
+//! fall within a configurable wake quantum
+//! ([`EngineConfig::pipeline_wake_quantum`](crate::EngineConfig)): it
+//! targets the latest deadline inside the window, so one wakeup advances
+//! every flight in the batch. No verb ever completes early — the sleep
+//! target is itself a deadline, and all batched deadlines are at or before
+//! it. Dead time (every in-flight commit waiting on the wire) is spent
+//! draining the engine's pending-install backlog, exactly where a real
+//! worker would process its completion-queue backlog.
+//!
+//! The reactor keeps per-flight cycle accounting ([`PipelineTimings`]):
+//! wall-clock splits into *issue* (advancing drivers — the serial CPU),
+//! *wait* (deadline sleeps), and *drain* (backlog installs), which is what
+//! the Amdahl analysis in `bench_commit_pipeline` uses to measure the
+//! serial fraction and predict multi-core speedup. For the multi-worker
+//! version with work-stealing, see [`PipelinePool`](super::PipelinePool).
 //!
 //! In-flight transactions of one pipeline are truly concurrent commits:
 //! they must write **disjoint** objects, or the later one aborts on a lock
 //! conflict like any concurrent committer would.
 
-use std::time::Instant;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::engine::NodeEngine;
 use crate::error::TxError;
 use crate::tx::{CommitInfo, PreparedCommit, Transaction};
-use std::sync::Arc;
 
 use super::driver::{CommitDriver, DriverStep};
 
-/// One in-flight commit and the deadline it is waiting out (`None` = ready
-/// to advance immediately).
-struct Flight {
-    driver: Box<CommitDriver>,
-    wake: Option<Instant>,
+/// One waiting flight in the deadline heap: the driver plus the deadline it
+/// is waiting out. Ordered so the **earliest** deadline is at the top of a
+/// `BinaryHeap` (which is a max-heap), with ties broken toward the older
+/// submission so completion order stays deterministic under equal deadlines.
+pub(crate) struct Waiting {
+    pub(crate) wake: Instant,
+    pub(crate) seq: u64,
+    pub(crate) driver: Box<CommitDriver>,
+}
+
+impl PartialEq for Waiting {
+    fn eq(&self, other: &Self) -> bool {
+        self.wake == other.wake && self.seq == other.seq
+    }
+}
+
+impl Eq for Waiting {}
+
+impl PartialOrd for Waiting {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Waiting {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed on both keys: BinaryHeap pops the maximum, we want the
+        // minimum deadline (then the lowest sequence number) on top.
+        other
+            .wake
+            .cmp(&self.wake)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-flight cycle accounting for one reactor (or one pool worker).
+///
+/// Wall-clock decomposes as `issue + wait + drain + steal` plus untracked
+/// scheduler epsilon. `issue` is the serial protocol CPU (building records,
+/// lock tables, indexes); `wait` is deadline flight time; `drain` is backlog
+/// install work done in dead time; `steal` is time spent advancing flights
+/// stolen from another worker's deck (always zero for a single pipeline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PipelineTimings {
+    /// Nanoseconds spent advancing drivers (issue/finish halves of phases).
+    pub issue_ns: u64,
+    /// Nanoseconds spent sleeping/spinning to completion deadlines.
+    pub wait_ns: u64,
+    /// Nanoseconds spent draining the pending-install backlog in dead time.
+    pub drain_ns: u64,
+    /// Nanoseconds spent advancing flights stolen from other workers.
+    pub steal_ns: u64,
+    /// Sweeps that advanced at least one flight.
+    pub sweeps: u64,
+    /// Deadline sleeps taken (each may complete a whole batch of verbs).
+    pub wakeups: u64,
+    /// Flights advanced by a wakeup that targeted another flight's deadline
+    /// batch — i.e. heap pops beyond the first on a single sweep.
+    pub coalesced: u64,
+    /// Commits completed through the reactor.
+    pub completed: u64,
+}
+
+impl PipelineTimings {
+    /// CPU-busy nanoseconds: everything but deadline waits.
+    pub fn busy_ns(&self) -> u64 {
+        self.issue_ns + self.drain_ns + self.steal_ns
+    }
+
+    /// Fraction of tracked wall-clock spent CPU-busy — the serial fraction
+    /// `s` of Amdahl's law for this workload: predicted speedup on `N`
+    /// cores is `1 / (s + (1 - s) / N)`.
+    pub fn serial_fraction(&self) -> f64 {
+        let busy = self.busy_ns() as f64;
+        let wall = busy + self.wait_ns as f64;
+        if wall == 0.0 {
+            0.0
+        } else {
+            busy / wall
+        }
+    }
+
+    /// Field-wise accumulation (used to merge per-worker timings).
+    pub fn merge(&mut self, other: &PipelineTimings) {
+        self.issue_ns += other.issue_ns;
+        self.wait_ns += other.wait_ns;
+        self.drain_ns += other.drain_ns;
+        self.steal_ns += other.steal_ns;
+        self.sweeps += other.sweeps;
+        self.wakeups += other.wakeups;
+        self.coalesced += other.coalesced;
+        self.completed += other.completed;
+    }
 }
 
 /// A per-thread commit pipeline; see the module docs. Built by
@@ -43,8 +149,17 @@ struct Flight {
 pub struct CommitPipeline {
     engine: Arc<NodeEngine>,
     depth: usize,
-    inflight: Vec<Flight>,
+    wake_quantum: Duration,
+    seq: u64,
+    /// Flights ready to advance now (never issued, or handed over ready).
+    /// Boxed on purpose: drivers shuttle between here, [`Waiting`] heap
+    /// entries, and cross-thread steals without moving the large struct.
+    #[allow(clippy::vec_box)]
+    ready: Vec<Box<CommitDriver>>,
+    /// Flights waiting out a deadline, earliest on top.
+    waiting: BinaryHeap<Waiting>,
     results: Vec<Result<CommitInfo, TxError>>,
+    timings: PipelineTimings,
 }
 
 impl NodeEngine {
@@ -52,11 +167,16 @@ impl NodeEngine {
     /// transactions in their commit critical paths concurrently (clamped to
     /// at least 1; depth 1 behaves like synchronous `commit`).
     pub fn pipeline(self: &Arc<Self>, depth: usize) -> CommitPipeline {
+        let wake_quantum = self.config().pipeline_wake_quantum;
         CommitPipeline {
             engine: Arc::clone(self),
             depth: depth.max(1),
-            inflight: Vec::new(),
+            wake_quantum,
+            seq: 0,
+            ready: Vec::new(),
+            waiting: BinaryHeap::new(),
             results: Vec::new(),
+            timings: PipelineTimings::default(),
         }
     }
 }
@@ -69,7 +189,12 @@ impl CommitPipeline {
 
     /// Number of commits currently in their critical paths.
     pub fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.ready.len() + self.waiting.len()
+    }
+
+    /// Cycle accounting accumulated since construction.
+    pub fn timings(&self) -> PipelineTimings {
+        self.timings
     }
 
     /// Submits a transaction for commit. If the pipeline is at depth, this
@@ -83,8 +208,8 @@ impl CommitPipeline {
             PreparedCommit::Done(result) => self.results.push(result),
             PreparedCommit::InFlight(driver) => {
                 self.pump_until(self.depth - 1);
-                self.inflight.push(Flight { driver, wake: None });
-                self.step_ready();
+                self.ready.push(driver);
+                self.step_ready(Instant::now());
             }
         }
     }
@@ -93,7 +218,7 @@ impl CommitPipeline {
     /// blocking. Call this opportunistically between submissions to keep
     /// completions flowing.
     pub fn poll(&mut self) {
-        self.step_ready();
+        self.step_ready(Instant::now());
     }
 
     /// Takes the results accumulated so far (completion order).
@@ -107,54 +232,75 @@ impl CommitPipeline {
         self.take()
     }
 
-    /// One non-blocking sweep: advance every flight whose wake deadline has
-    /// passed (or that has not issued anything yet). Returns whether any
-    /// flight made progress.
-    fn step_ready(&mut self) -> bool {
-        let mut progressed = false;
-        let mut i = 0;
-        while i < self.inflight.len() {
-            let ready = match self.inflight[i].wake {
-                None => true,
-                Some(wake) => wake <= Instant::now(),
-            };
-            if !ready {
-                i += 1;
-                continue;
-            }
-            progressed = true;
-            match self.inflight[i].driver.advance() {
-                DriverStep::Wait(deadline) => {
-                    self.inflight[i].wake = Some(deadline);
-                    i += 1;
+    /// One non-blocking sweep against a single clock read: advance every
+    /// ready flight plus the expired prefix of the deadline heap. Returns
+    /// whether any flight made progress. Completed flights simply drop out
+    /// of the batch (no `Vec::remove` shifting — results are completion
+    /// order, as documented on [`CommitPipeline::submit`]).
+    fn step_ready(&mut self, now: Instant) -> bool {
+        let mut batch = std::mem::take(&mut self.ready);
+        let fresh = batch.len();
+        while self.waiting.peek().is_some_and(|w| w.wake <= now) {
+            batch.push(self.waiting.pop().expect("peeked").driver);
+        }
+        if batch.is_empty() {
+            return false;
+        }
+        self.timings.sweeps += 1;
+        let popped = batch.len() - fresh;
+        self.timings.coalesced += popped.saturating_sub(1) as u64;
+        for mut driver in batch {
+            match driver.advance() {
+                DriverStep::Wait(wake) => {
+                    self.seq += 1;
+                    self.waiting.push(Waiting {
+                        wake,
+                        seq: self.seq,
+                        driver,
+                    });
                 }
                 DriverStep::Finished(result) => {
-                    self.inflight.remove(i);
+                    self.timings.completed += 1;
                     self.results.push(result);
                 }
             }
         }
-        progressed
+        self.timings.issue_ns += now.elapsed().as_nanos() as u64;
+        true
     }
 
     /// Pumps until at most `target` commits remain in flight: sweep the
     /// ready flights, spend dead time on the engine's pending-install
-    /// backlog, and sleep only until the earliest deadline across all
-    /// in-flight commits.
+    /// backlog, and sleep once for the whole batch of deadlines within the
+    /// wake quantum of the earliest one.
     fn pump_until(&mut self, target: usize) {
-        while self.inflight.len() > target {
-            if self.step_ready() {
+        while self.in_flight() > target {
+            let now = Instant::now();
+            if self.step_ready(now) {
                 continue;
             }
-            // Everything in flight: background work first, then sleep to
-            // the earliest completion.
-            self.engine.drain_pending_installs();
-            if self.step_ready() {
+            // Every flight is on the wire: background work first.
+            if self.engine.drain_pending_installs() > 0 {
+                self.timings.drain_ns += now.elapsed().as_nanos() as u64;
                 continue;
             }
-            if let Some(wake) = self.inflight.iter().filter_map(|f| f.wake).min() {
-                self.engine.meter.latency_model().wait_until(wake);
+            // Coalesced sleep: target the latest deadline within the wake
+            // quantum of the earliest, so one wakeup advances the batch.
+            // Everything batched is at or before the sleep target, so no
+            // verb completes early.
+            let Some(earliest) = self.waiting.peek().map(|w| w.wake) else {
+                continue;
+            };
+            let horizon = earliest + self.wake_quantum;
+            let mut batch_end = earliest;
+            for w in self.waiting.iter() {
+                if w.wake <= horizon && w.wake > batch_end {
+                    batch_end = w.wake;
+                }
             }
+            self.timings.wakeups += 1;
+            self.engine.meter.latency_model().wait_until(batch_end);
+            self.timings.wait_ns += now.elapsed().as_nanos() as u64;
         }
     }
 }
@@ -172,7 +318,7 @@ impl std::fmt::Debug for CommitPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CommitPipeline")
             .field("depth", &self.depth)
-            .field("in_flight", &self.inflight.len())
+            .field("in_flight", &self.in_flight())
             .field("pending_results", &self.results.len())
             .finish()
     }

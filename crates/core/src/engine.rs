@@ -202,15 +202,24 @@ impl NodeEngine {
     /// Returns the number of destination installs this call performed. An
     /// empty backlog costs one atomic load.
     pub fn drain_pending_installs(&self) -> usize {
-        if self.installs_len.load(Ordering::Acquire) == 0 {
+        self.drain_pending_installs_up_to(usize::MAX)
+    }
+
+    /// Like [`NodeEngine::drain_pending_installs`], but claims at most
+    /// `limit` queued commits per call. Pipeline-pool workers drain in
+    /// bounded chunks so a deep backlog cannot make them miss the next
+    /// flight deadline; a single pipeline's dead time uses the full drain.
+    pub fn drain_pending_installs_up_to(&self, limit: usize) -> usize {
+        if limit == 0 || self.installs_len.load(Ordering::Acquire) == 0 {
             return 0;
         }
         let mut done = 0;
-        // Take the whole queue under one lock; the installs themselves run
+        // Take the claimed chunk under one lock; the installs themselves run
         // outside it so concurrent enqueuers never wait on install work.
         let drained: Vec<Arc<PendingInstall>> = {
             let mut queue = self.installs.lock();
-            let drained: Vec<Arc<PendingInstall>> = queue.drain(..).collect();
+            let take = queue.len().min(limit);
+            let drained: Vec<Arc<PendingInstall>> = queue.drain(..take).collect();
             self.installs_len
                 .fetch_sub(drained.len(), Ordering::Release);
             drained

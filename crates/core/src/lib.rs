@@ -56,7 +56,9 @@ pub mod stats;
 pub mod tx;
 
 pub use active::{ActiveToken, ActiveTxTable};
-pub use commit::{CommitDriver, CommitPhase, CommitPipeline};
+pub use commit::{
+    CommitDriver, CommitPhase, CommitPipeline, PipelinePool, PipelineTimings, PoolConfig, PoolStats,
+};
 pub use engine::{Engine, NodeEngine};
 pub use error::{AbortReason, TxError};
 pub use opts::{EngineConfig, EngineMode, IsolationLevel, MvPolicy, TxOptions};

@@ -128,6 +128,14 @@ pub struct EngineConfig {
     pub op_log_capacity: usize,
     /// Interval of the background old-version garbage collector.
     pub gc_interval: std::time::Duration,
+    /// Wake quantum of the commit-pipeline reactor's deadline coalescing:
+    /// when every in-flight commit is waiting on the wire, the pipeline
+    /// sleeps to the **latest** completion deadline within this window past
+    /// the earliest one, so a single wakeup advances the whole batch of
+    /// verbs instead of one wakeup per deadline. Zero disables coalescing
+    /// (sleep exactly to the earliest deadline). No verb ever completes
+    /// early — the sleep target is itself one of the batched deadlines.
+    pub pipeline_wake_quantum: std::time::Duration,
     /// DELIBERATELY INCORRECT (Section 7.3): skip the uncertainty wait when
     /// acquiring the write timestamp. Only for the ablation experiment and
     /// the counterexample test; never enable in real use.
@@ -146,6 +154,7 @@ impl Default for EngineConfig {
             truncate_idle_flush: std::time::Duration::from_millis(1),
             op_log_capacity: 65_536,
             gc_interval: std::time::Duration::from_millis(2),
+            pipeline_wake_quantum: std::time::Duration::from_micros(2),
             unsafe_skip_write_wait: false,
         }
     }

@@ -88,6 +88,13 @@ pub struct EngineStats {
     /// Standalone truncation flushes sent because a watermark sat idle past
     /// [`crate::EngineConfig::truncate_idle_flush`].
     pub truncate_flushes: AtomicU64,
+    // ---- Pipeline-pool work-stealing counters ---------------------------
+    /// Expired pipeline flights advanced by a pool worker that does not own
+    /// them (the owner was stuck in a deadline sleep or busy issuing).
+    pub pipeline_steals: AtomicU64,
+    /// Bounded install-backlog chunks drained by idle pipeline-pool workers
+    /// stealing stage-2 completion work.
+    pub pipeline_steal_drains: AtomicU64,
 }
 
 /// Point-in-time copy of [`EngineStats`].
@@ -153,6 +160,10 @@ pub struct EngineStatsSnapshot {
     pub truncations_piggybacked: u64,
     /// Standalone idle truncation flushes.
     pub truncate_flushes: u64,
+    /// Expired pipeline flights advanced by a non-owner pool worker.
+    pub pipeline_steals: u64,
+    /// Install-backlog chunks drained by idle pipeline-pool workers.
+    pub pipeline_steal_drains: u64,
 }
 
 impl EngineStats {
@@ -189,6 +200,8 @@ impl EngineStats {
             install_helps: self.install_helps.load(Ordering::Relaxed),
             truncations_piggybacked: self.truncations_piggybacked.load(Ordering::Relaxed),
             truncate_flushes: self.truncate_flushes.load(Ordering::Relaxed),
+            pipeline_steals: self.pipeline_steals.load(Ordering::Relaxed),
+            pipeline_steal_drains: self.pipeline_steal_drains.load(Ordering::Relaxed),
         }
     }
 
@@ -300,6 +313,8 @@ impl EngineStatsSnapshot {
             install_helps: self.install_helps - earlier.install_helps,
             truncations_piggybacked: self.truncations_piggybacked - earlier.truncations_piggybacked,
             truncate_flushes: self.truncate_flushes - earlier.truncate_flushes,
+            pipeline_steals: self.pipeline_steals - earlier.pipeline_steals,
+            pipeline_steal_drains: self.pipeline_steal_drains - earlier.pipeline_steal_drains,
         }
     }
 
@@ -338,6 +353,8 @@ impl EngineStatsSnapshot {
             install_helps: self.install_helps + other.install_helps,
             truncations_piggybacked: self.truncations_piggybacked + other.truncations_piggybacked,
             truncate_flushes: self.truncate_flushes + other.truncate_flushes,
+            pipeline_steals: self.pipeline_steals + other.pipeline_steals,
+            pipeline_steal_drains: self.pipeline_steal_drains + other.pipeline_steal_drains,
         }
     }
 }

@@ -1,0 +1,306 @@
+//! Reactor and pipeline-pool lifecycle tests: the deadline-heap reactor's
+//! edge cases (drop with in-flight commits, depth backpressure, non-blocking
+//! poll, intra-pipeline conflicts) and the multi-worker pool (disjoint
+//! commits across workers, submit-ring backpressure, deterministic drain on
+//! shutdown).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use farm_core::{Engine, EngineConfig, NodeId, PoolConfig, TxError};
+use farm_kernel::ClusterConfig;
+use farm_memory::{Addr, RegionId};
+use farm_net::LatencyModel;
+
+/// A latency model scaled well above debug-build CPU costs, spinning (not
+/// sleeping) so OS scheduling slack cannot blur timing-sensitive assertions.
+fn spin_model() -> LatencyModel {
+    LatencyModel {
+        rdma_read_ns: 25_000,
+        rdma_write_ns: 30_000,
+        rpc_ns: 70_000,
+        spin_threshold_ns: 300_000,
+    }
+}
+
+/// A model with latencies far above any assertion margin (tens of ms,
+/// slept): a call that returns in a few ms provably did not block on a
+/// flight deadline.
+fn huge_model() -> LatencyModel {
+    LatencyModel {
+        rdma_read_ns: 5_000_000,
+        rdma_write_ns: 10_000_000,
+        rpc_ns: 20_000_000,
+        spin_threshold_ns: 20_000,
+    }
+}
+
+fn engine_with(latency: LatencyModel) -> Arc<Engine> {
+    let config = EngineConfig {
+        latency,
+        gc_interval: Duration::from_secs(3600),
+        ..EngineConfig::default()
+    };
+    Engine::start_cluster(ClusterConfig::test(3), config)
+}
+
+fn remote_region(engine: &Arc<Engine>, coordinator: NodeId) -> RegionId {
+    engine
+        .cluster()
+        .regions()
+        .into_iter()
+        .find(|&r| engine.cluster().primary_of(r) != Some(coordinator))
+        .expect("multi-node cluster has a remote region")
+}
+
+fn alloc_pool(engine: &Arc<Engine>, node: NodeId, count: usize) -> Vec<Addr> {
+    let coordinator = engine.node(node);
+    let region = remote_region(engine, node);
+    let mut setup = coordinator.begin();
+    let addrs = (0..count)
+        .map(|_| setup.alloc_in(region, vec![0u8; 16]).unwrap())
+        .collect();
+    setup.commit().unwrap();
+    coordinator.drain_pending_installs();
+    addrs
+}
+
+fn assert_unlocked_with(engine: &Arc<Engine>, addrs: &[Addr], value: u8) {
+    let node = engine.node(NodeId(0));
+    let mut check = node.begin();
+    for &addr in addrs {
+        assert_eq!(
+            check.read(addr).unwrap()[0],
+            value,
+            "commit did not land (or left its primary lock held) at {addr:?}"
+        );
+    }
+}
+
+/// Dropping a pipeline with commits still in flight completes them: their
+/// drivers hold primary locks, and the `Drop` drain releases every one —
+/// later readers see the committed values, not a wedged lock.
+#[test]
+fn dropping_a_pipeline_completes_in_flight_commits() {
+    let engine = engine_with(spin_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 8);
+
+    let mut pipeline = node.pipeline(8);
+    for &addr in &addrs {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![3u8; 16]).unwrap();
+        pipeline.submit(tx);
+    }
+    assert!(
+        pipeline.in_flight() > 0,
+        "commits should still be in flight"
+    );
+    drop(pipeline);
+
+    engine.quiesce();
+    assert_unlocked_with(&engine, &addrs, 3);
+    engine.shutdown();
+}
+
+/// `submit` past depth blocks until a slot frees: the in-flight count never
+/// exceeds the configured depth, and the full submits collectively absorb
+/// the flights' wait time (any single full submit may return quickly when
+/// the flight it pumps has already expired, but the protocol's spin waits
+/// have to be paid somewhere, and with the test thread doing nothing else
+/// that somewhere is inside `submit`).
+#[test]
+fn submit_past_depth_blocks_until_a_slot_frees() {
+    let engine = engine_with(spin_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 6);
+
+    let mut pipeline = node.pipeline(2);
+    let mut over_depth_submits = 0u32;
+    let mut full_submit_time = Duration::ZERO;
+    for &addr in &addrs {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![4u8; 16]).unwrap();
+        let was_full = pipeline.in_flight() == 2;
+        let start = Instant::now();
+        pipeline.submit(tx);
+        if was_full {
+            over_depth_submits += 1;
+            full_submit_time += start.elapsed();
+        }
+        assert!(pipeline.in_flight() <= 2, "depth bound violated");
+    }
+    assert!(over_depth_submits > 0, "test never filled the pipeline");
+    assert!(
+        full_submit_time >= Duration::from_micros(50),
+        "submits into a full pipeline must wait out flight deadlines \
+         (4 evicting submits over >=95us-critical-path commits spent only \
+         {full_submit_time:?} blocked)"
+    );
+    let results = pipeline.drain();
+    assert!(results.iter().all(|r| r.is_ok()));
+    engine.shutdown();
+}
+
+/// `poll` makes progress without blocking: with flight times of tens of
+/// milliseconds, each poll returns in a fraction of one flight — it never
+/// sleeps to a deadline — yet repeated polling alone completes the commits.
+#[test]
+fn poll_makes_progress_without_blocking() {
+    let engine = engine_with(huge_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 2);
+
+    let mut pipeline = node.pipeline(2);
+    for &addr in &addrs {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![5u8; 16]).unwrap();
+        pipeline.submit(tx);
+    }
+    let mut results = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while results.len() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "poll never completed the commits"
+        );
+        let start = Instant::now();
+        pipeline.poll();
+        assert!(
+            start.elapsed() < Duration::from_millis(4),
+            "poll blocked on a flight deadline (flights are >= 5 ms here)"
+        );
+        results.extend(pipeline.take());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(results.iter().all(|r| r.is_ok()));
+    engine.shutdown();
+}
+
+/// Two pipelined transactions writing the same object are genuinely
+/// concurrent committers: the later one aborts on the lock conflict with a
+/// clean `TxError` — no deadlock, no wedged locks, and a retry commits.
+#[test]
+fn intra_pipeline_write_conflict_aborts_cleanly() {
+    let engine = engine_with(spin_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 1);
+    let addr = addrs[0];
+
+    let mut pipeline = node.pipeline(2);
+    for value in [6u8, 7u8] {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![value; 16]).unwrap();
+        pipeline.submit(tx);
+    }
+    let results = pipeline.drain();
+    assert_eq!(results.len(), 2);
+    let oks = results.iter().filter(|r| r.is_ok()).count();
+    let aborts = results
+        .iter()
+        .filter(|r| matches!(r, Err(TxError::Aborted(_))))
+        .count();
+    assert_eq!(
+        (oks, aborts),
+        (1, 1),
+        "exactly one writer wins, the other aborts: {results:?}"
+    );
+
+    let mut retry = node.begin();
+    retry.overwrite(addr, vec![8u8; 16]).unwrap();
+    retry.commit().unwrap();
+    engine.quiesce();
+    assert_unlocked_with(&engine, &addrs, 8);
+    engine.shutdown();
+}
+
+/// A pool spreads disjoint commits across its workers and completes them
+/// all; the merged cycle accounting shows both issue work and flight waits.
+#[test]
+fn pool_commits_disjoint_transactions_across_workers() {
+    let engine = engine_with(spin_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 24);
+
+    let pool = node.pipeline_pool(PoolConfig::new(2, 4));
+    for &addr in &addrs {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![9u8; 16]).unwrap();
+        pool.submit(tx);
+    }
+    let results = pool.drain();
+    assert_eq!(results.len(), 24);
+    for r in &results {
+        r.as_ref().expect("disjoint pooled commits all succeed");
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.completed, 24);
+    assert!(stats.timings.issue_ns > 0, "no issue work recorded");
+    assert!(stats.timings.wait_ns > 0, "no deadline waits recorded");
+    assert!(stats.timings.serial_fraction() < 1.0);
+
+    engine.quiesce();
+    assert_unlocked_with(&engine, &addrs, 9);
+    engine.shutdown();
+}
+
+/// The submit ring is bounded: while the single depth-1 worker is deep in a
+/// multi-ms flight, the ring fills and `try_submit` refuses instead of
+/// growing without bound; blocking `submit` had to wait for that same
+/// backpressure earlier in the test (it completed regardless).
+#[test]
+fn submit_ring_overflow_applies_backpressure() {
+    let engine = engine_with(huge_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 4);
+
+    let pool = node.pipeline_pool(PoolConfig {
+        workers: 1,
+        depth: 1,
+        ring_capacity: 2,
+    });
+    // One for the worker (it pops and enters a tens-of-ms flight) and two
+    // to fill the ring behind it.
+    for &addr in &addrs[..3] {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![1u8; 16]).unwrap();
+        pool.submit(tx);
+    }
+    let mut refused = node.begin();
+    refused.overwrite(addrs[3], vec![1u8; 16]).unwrap();
+    match pool.try_submit(refused) {
+        Err(tx) => drop(tx), // returned un-submitted; dropping holds no locks
+        Ok(()) => panic!("try_submit into a full ring must refuse"),
+    }
+    let results = pool.drain();
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.is_ok()));
+    engine.shutdown();
+}
+
+/// `shutdown` is a deterministic drain: every accepted transaction
+/// completes (no primary lock leaks), results stay retrievable afterwards,
+/// and a second shutdown is a no-op.
+#[test]
+fn shutdown_drains_deterministically() {
+    let engine = engine_with(spin_model());
+    let node = engine.node(NodeId(0));
+    let addrs = alloc_pool(&engine, NodeId(0), 10);
+
+    let mut pool = node.pipeline_pool(PoolConfig::new(2, 2));
+    for &addr in &addrs {
+        let mut tx = node.begin();
+        tx.overwrite(addr, vec![2u8; 16]).unwrap();
+        pool.submit(tx);
+    }
+    pool.shutdown();
+    assert_eq!(pool.pending(), 0, "shutdown left accepted work unfinished");
+    let results = pool.take();
+    assert_eq!(results.len(), 10);
+    assert!(results.iter().all(|r| r.is_ok()));
+    pool.shutdown(); // idempotent
+
+    engine.quiesce();
+    assert_unlocked_with(&engine, &addrs, 2);
+    engine.shutdown();
+}

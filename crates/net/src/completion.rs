@@ -74,6 +74,10 @@ struct PendingVerb<'env, R> {
 /// A set of in-flight verbs awaiting completion. See the module docs.
 pub struct CompletionSet<'env, R> {
     model: LatencyModel,
+    /// The clock read shared by every latency-bearing verb in the set: a
+    /// coordinator posts a phase's messages back to back, so one issue
+    /// timestamp serves them all — K issues cost one `Instant::now`, not K.
+    issued_at: Option<Instant>,
     pending: Vec<PendingVerb<'env, R>>,
 }
 
@@ -82,19 +86,22 @@ impl<'env, R: Send> CompletionSet<'env, R> {
     pub fn new(model: LatencyModel) -> Self {
         CompletionSet {
             model,
+            issued_at: None,
             pending: Vec::new(),
         }
     }
 
-    /// Issues `verb` to `dest`: the completion deadline is now plus the
-    /// model's latency for the verb, and `work` is the destination-side
-    /// processing executed before the completion is reported.
+    /// Issues `verb` to `dest`: the completion deadline is the set's issue
+    /// time plus the model's latency for the verb, and `work` is the
+    /// destination-side processing executed before the completion is
+    /// reported.
     pub fn issue(&mut self, dest: NodeId, verb: Verb, work: impl FnOnce() -> R + Send + 'env) {
         let latency_ns = self.model.verb_ns(verb);
         let deadline = if latency_ns == 0 {
             None
         } else {
-            Some(Instant::now() + std::time::Duration::from_nanos(latency_ns))
+            let issued_at = *self.issued_at.get_or_insert_with(Instant::now);
+            Some(issued_at + std::time::Duration::from_nanos(latency_ns))
         };
         self.pending.push(PendingVerb {
             dest,
