@@ -375,6 +375,40 @@ impl Backlog {
         replica.rebuild_allocation_state();
     }
 
+    /// Catches a freshly re-replicated backup up from the redo logs: every
+    /// untruncated intent for `region` held at any *other* live node is
+    /// applied to the new backup's replica. Entries stay in their owners'
+    /// logs (truncation still has to apply them at those destinations); the
+    /// timestamp guard in `apply_replicated` makes the extra application —
+    /// and any overlap with the state copy — idempotent. Returns how many
+    /// intents were replayed.
+    pub(crate) fn catch_up_region(&self, region: RegionId, new_backup: NodeId) -> usize {
+        let replica = self.nodes[new_backup.index()].regions().ensure(region);
+        let mut applied = 0usize;
+        for (i, log) in self.logs.iter().enumerate() {
+            if i == new_backup.index() || !self.nodes[i].is_alive() {
+                continue;
+            }
+            let log = log.lock();
+            for entry in log.iter() {
+                for intent in entry.intents.iter().filter(|it| it.addr.region == region) {
+                    replica.apply_replicated(
+                        intent.addr,
+                        intent.slab_size,
+                        entry.write_ts,
+                        &intent.data,
+                        intent.free,
+                    );
+                    applied += 1;
+                }
+            }
+        }
+        if applied > 0 {
+            replica.rebuild_allocation_state();
+        }
+        applied
+    }
+
     // ------------------------------------------------------------------
     // Truncation watermarks
     // ------------------------------------------------------------------

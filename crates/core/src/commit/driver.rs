@@ -342,6 +342,25 @@ impl CommitDriver {
                 let write_ts = self.write_ts;
                 return DriverStep::Finished(self.seal(Ok(Some(write_ts))));
             }
+            // Coordinator died before this transaction reached durability
+            // (the last COMMIT-BACKUP ack): survivors cannot learn its
+            // outcome, so it unwinds — locks release, allocations roll back.
+            // This models the survivor-side unwind of an *undecided* orphan;
+            // post-durability phases (InstallPrimary onward) keep running,
+            // because from the ack on the transaction is decided and must
+            // roll forward.
+            if matches!(
+                self.phase,
+                CommitPhase::Lock
+                    | CommitPhase::AcquireWriteTs
+                    | CommitPhase::Validate
+                    | CommitPhase::ReplicateBackups
+            ) && !self.engine.is_alive()
+            {
+                EngineStats::bump(&self.engine.stats.orphans_rolled_back);
+                let err = self.abort(AbortReason::CoordinatorDead);
+                return DriverStep::Finished(self.seal(Err(err)));
+            }
             self.phase_started = Some(Instant::now());
             match self.issue_phase() {
                 Ok(Some(deadline)) => return DriverStep::Wait(deadline),
@@ -1192,7 +1211,7 @@ fn lock_at_destination(
         // (fault injection): fail the batch rather than touch dead memory.
         if !engine.cluster().node(group.primary).is_alive() {
             let addr = entries[0].0;
-            out.failure = Some((addr, AbortReason::RegionUnavailable(addr)));
+            out.failure = Some((addr, AbortReason::NodeUnavailable(addr)));
             return out;
         }
         let mut help_attempts = 0u32;

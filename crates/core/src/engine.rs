@@ -5,10 +5,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use farm_kernel::{Cluster, NodeHandle, RecoveryHooks};
+use farm_kernel::{Cluster, ConfigRecord, EventKind, EventLog, NodeHandle, RecoveryHooks};
 use farm_memory::{Addr, Region, RegionId};
-use farm_net::{NodeId, OneSidedMeter};
+use farm_net::{CompletionSet, NodeId, OneSidedMeter, Verb};
 use parking_lot::Mutex;
 
 use crate::active::{ActiveToken, ActiveTxTable};
@@ -16,7 +17,7 @@ use crate::commit::backlog::{Backlog, PendingInstall};
 use crate::error::{AbortReason, TxError};
 use crate::opts::{EngineConfig, TxOptions};
 use crate::stats::{EngineStats, EngineStatsSnapshot};
-use crate::tx::Transaction;
+use crate::tx::{CommitInfo, Transaction};
 
 /// A record appended to replicated in-memory operation logs when the engine
 /// runs in operation-logging mode (Section 5.6).
@@ -28,6 +29,31 @@ pub struct OpLogRecord {
     pub write_ts: u64,
     /// Addresses written (the "transaction description and inputs").
     pub writes: Vec<Addr>,
+}
+
+/// Bounded exponential backoff for [`NodeEngine::run_transaction`]: how many
+/// commit attempts to make and how long to sleep between them. The defaults
+/// (64 attempts, 50 µs doubling to a 5 ms cap) ride out both ordinary
+/// conflicts and a full lease-expiry + reconfiguration window, so a machine
+/// failure shows up to the application as latency rather than an error.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum commit attempts before the last error surfaces to the caller.
+    pub max_attempts: u32,
+    /// Sleep after the first absorbed retry; doubles on each further retry.
+    pub base_backoff: Duration,
+    /// Cap on the per-retry sleep (the doubling stops here).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 64,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
 }
 
 /// The per-machine transaction engine. Application threads whose home is this
@@ -168,6 +194,58 @@ impl NodeEngine {
         Transaction::start(Arc::clone(self), opts)
     }
 
+    /// Runs `body` in a transaction, transparently retrying retryable aborts
+    /// (conflicts *and* availability errors — a dead primary, a region
+    /// draining for reconfiguration) with the default [`RetryPolicy`]'s
+    /// bounded exponential backoff. Machine failures surface to the caller
+    /// only as latency: the loop outlasts lease expiry plus reconfiguration,
+    /// by which time a promoted backup serves the affected regions again.
+    ///
+    /// `body` must be idempotent up to the transaction (it may run several
+    /// times, each against a fresh snapshot). Returns the body's value and
+    /// the commit info of the attempt that committed.
+    pub fn run_transaction<T>(
+        self: &Arc<Self>,
+        opts: TxOptions,
+        body: impl FnMut(&mut Transaction) -> Result<T, TxError>,
+    ) -> Result<(T, CommitInfo), TxError> {
+        self.run_transaction_with(RetryPolicy::default(), opts, body)
+    }
+
+    /// [`NodeEngine::run_transaction`] with an explicit retry policy.
+    pub fn run_transaction_with<T>(
+        self: &Arc<Self>,
+        policy: RetryPolicy,
+        opts: TxOptions,
+        mut body: impl FnMut(&mut Transaction) -> Result<T, TxError>,
+    ) -> Result<(T, CommitInfo), TxError> {
+        let mut backoff = policy.base_backoff;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = {
+                let mut tx = self.begin_with(opts);
+                match body(&mut tx) {
+                    // Dropping an uncommitted transaction on the error path
+                    // releases its registration and rolls allocations back.
+                    Err(e) => Err(e),
+                    Ok(value) => tx.commit().map(|info| (value, info)),
+                }
+            };
+            match result {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                    EngineStats::bump(&self.stats.retries_absorbed);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Commit-completion backlog (stages 2 and 3 of the commit lifecycle)
     // ------------------------------------------------------------------
@@ -237,6 +315,31 @@ impl NodeEngine {
     /// Number of commits whose installs are still queued at this engine.
     pub fn pending_installs(&self) -> usize {
         self.installs_len.load(Ordering::Acquire)
+    }
+
+    /// Survivor-side recovery of a dead coordinator's in-flight commits.
+    /// Everything queued here is *decided*: the transaction reached
+    /// durability (all COMMIT-BACKUP acks) before the coordinator early-acked
+    /// it, so survivors roll it forward from the replicated redo state —
+    /// installs run (skipping dead destinations), locks release, and the
+    /// coordinator's truncation watermark is force-delivered to every node so
+    /// backup redo logs holding its records can truncate. Transactions that
+    /// had *not* reached durability never enqueued anything: their drivers
+    /// unwind with [`AbortReason::CoordinatorDead`], releasing any locks they
+    /// took. Between the two, a dead coordinator leaks no lock.
+    ///
+    /// Returns the number of decided transactions rolled forward. Idempotent
+    /// (installs are claim-based; watermark delivery is monotone).
+    pub fn recover_dead_coordinator(&self) -> usize {
+        let orphans = self.pending_installs();
+        self.drain_pending_installs();
+        if orphans > 0 {
+            EngineStats::add(&self.stats.orphans_rolled_forward, orphans as u64);
+        }
+        for dest in self.cluster.nodes() {
+            self.backlog.deliver_truncation(self, dest.id(), true);
+        }
+        orphans
     }
 
     /// A reader / locker / validator hit a locked slot: if the lock belongs
@@ -320,16 +423,20 @@ impl NodeEngine {
     }
 
     /// Resolves the primary replica of the region holding `addr`, along with
-    /// the primary's node id. Fails when the region currently has no
-    /// reachable primary (e.g. immediately after a failure, before
-    /// reconfiguration completes).
+    /// the primary's node id. Fails retryably while the region is draining
+    /// for a reconfiguration or its primary is dead awaiting promotion —
+    /// both clear within one reconfiguration, so a retry loop rides them
+    /// out.
     pub(crate) fn primary_region_of(&self, addr: Addr) -> Result<(NodeId, Arc<Region>), TxError> {
+        if self.cluster.is_region_blocked(addr.region) {
+            return Err(TxError::Aborted(AbortReason::Reconfiguring(addr.region)));
+        }
         let primary = self
             .cluster
             .primary_of(addr.region)
             .ok_or(TxError::Aborted(AbortReason::BadAddress(addr)))?;
         if !self.cluster.node(primary).is_alive() {
-            return Err(TxError::Aborted(AbortReason::RegionUnavailable(addr)));
+            return Err(TxError::Aborted(AbortReason::NodeUnavailable(addr)));
         }
         Ok((
             primary,
@@ -353,18 +460,73 @@ impl std::fmt::Debug for NodeEngine {
     }
 }
 
-/// The engine's reactions to control-plane events: when a backup is
-/// promoted to primary, it replays its untruncated redo-log entries for the
-/// region before serving — committed (early-acked) transactions whose
-/// COMMIT-PRIMARY never landed at the failed primary are recovered from the
-/// log, never lost and never observed torn.
+/// The engine's reactions to control-plane events, forming the data-plane
+/// half of failure recovery:
+///
+/// * **Promotion replay** — when a backup is promoted to primary, it replays
+///   its untruncated redo-log entries for the region before serving, so
+///   committed (early-acked) transactions whose COMMIT-PRIMARY never landed
+///   at the failed primary are recovered from the log, never lost and never
+///   observed torn.
+/// * **Orphan resolution** — when a new configuration commits, survivors
+///   reconstruct the outcomes a dead coordinator left in flight: decided
+///   transactions roll forward from the replicated redo state, undecided
+///   ones unwind in their own drivers, and the dead coordinator's truncation
+///   watermark is force-delivered so backup logs drain.
+/// * **Log catch-up** — when background re-replication finishes its state
+///   copy onto a new backup, commits that raced the copy are replayed onto
+///   it from the surviving redo logs, restoring full redundancy.
 struct EngineHooks {
     backlog: Arc<Backlog>,
+    nodes: Vec<Arc<NodeEngine>>,
+    events: EventLog,
 }
 
 impl RecoveryHooks for EngineHooks {
     fn on_region_promoted(&self, region: RegionId, new_primary: NodeId) {
         self.backlog.recover_region(region, new_primary);
+    }
+
+    fn on_config_committed(&self, config: &ConfigRecord) {
+        for engine in &self.nodes {
+            if config.contains(engine.id()) || engine.handle().is_alive() {
+                continue;
+            }
+            let rolled_forward = engine.recover_dead_coordinator();
+            if rolled_forward > 0 {
+                self.events.record(EventKind::OrphansRecovered {
+                    coordinator: engine.id(),
+                    rolled_forward,
+                });
+            }
+        }
+    }
+
+    fn on_backup_rereplicated(&self, region: RegionId, new_backup: NodeId) {
+        // Any live node can serve as the catch-up source: the redo state is
+        // read from every surviving replicated log, not one replica.
+        let Some(src) = self
+            .nodes
+            .iter()
+            .find(|n| n.id() != new_backup && n.is_alive())
+        else {
+            return;
+        };
+        let backlog = Arc::clone(&self.backlog);
+        let mut set = CompletionSet::new(src.meter.latency_model());
+        set.issue(new_backup, Verb::RdmaWrite, move || {
+            backlog.catch_up_region(region, new_backup)
+        });
+        let completions = set.complete(src.config().dispatch, Some(src.meter.stats()));
+        let intents: usize = completions.into_iter().map(|c| c.value).sum();
+        if intents > 0 {
+            EngineStats::bump(&src.stats.backups_caught_up);
+            self.events.record(EventKind::LogCatchUp {
+                region,
+                new_backup,
+                intents,
+            });
+        }
     }
 }
 
@@ -406,6 +568,8 @@ impl Engine {
             .collect();
         cluster.set_recovery_hooks(Arc::new(EngineHooks {
             backlog: Arc::clone(&backlog),
+            nodes: nodes.clone(),
+            events: cluster.events().clone(),
         }));
         let engine = Arc::new(Engine {
             cluster: Arc::clone(&cluster),
@@ -424,21 +588,32 @@ impl Engine {
         let handle = std::thread::Builder::new()
             .name("farm-gc".into())
             .spawn(move || {
-                while !stop.load(Ordering::Acquire) {
-                    for node in &nodes_for_gc {
-                        if node.is_alive() {
-                            node.drain_pending_installs();
-                            node.backlog.flush_idle(node, idle);
-                            collect_node_garbage(node.handle());
-                        }
-                    }
-                    // Sleep in bounded slices so `shutdown` never waits out
-                    // a long GC interval to join this thread.
+                loop {
+                    // Sleep first (in bounded slices so `shutdown` never
+                    // waits out a long GC interval to join this thread): a
+                    // pass at startup has nothing to do, and engines
+                    // configured with a long interval expect no background
+                    // interference at all.
                     let mut remaining = interval;
                     while !remaining.is_zero() && !stop.load(Ordering::Acquire) {
                         let slice = remaining.min(std::time::Duration::from_millis(10));
                         std::thread::sleep(slice);
                         remaining -= slice;
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    for node in &nodes_for_gc {
+                        // Installs and truncation flushes run for dead nodes
+                        // too: survivors help a dead coordinator's decided
+                        // commits to completion (the replicated state needed
+                        // is cluster-shared), so locks never wait on an
+                        // explicit reconfiguration to release.
+                        node.drain_pending_installs();
+                        node.backlog.flush_idle(node, idle);
+                        if node.is_alive() {
+                            collect_node_garbage(node.handle());
+                        }
                     }
                 }
             })
@@ -505,15 +680,14 @@ impl Engine {
     /// mirrored at backups — the quiescent point benchmarks and tests settle
     /// to before inspecting replicas.
     pub fn quiesce(&self) {
+        // Dead nodes settle too: their queued (decided) installs are rolled
+        // forward by this surviving thread and their watermarks delivered,
+        // so a post-failure quiescent cluster holds no leaked locks and no
+        // untruncated redo-log entries.
         for node in &self.nodes {
-            if node.is_alive() {
-                node.drain_pending_installs();
-            }
+            node.drain_pending_installs();
         }
         for node in &self.nodes {
-            if !node.is_alive() {
-                continue;
-            }
             for dest in self.cluster.nodes() {
                 node.backlog.deliver_truncation(node, dest.id(), true);
             }

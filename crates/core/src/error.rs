@@ -1,6 +1,6 @@
 //! Transaction errors and abort reasons.
 
-use farm_memory::Addr;
+use farm_memory::{Addr, RegionId};
 
 /// Why a transaction aborted. The distinction matters for the evaluation:
 /// Figure 15 separates aborts caused by old-version unavailability from
@@ -39,6 +39,14 @@ pub enum AbortReason {
     /// The transaction was asked to write, but the engine is in read-only
     /// (recovering) state for the affected region.
     RegionUnavailable(Addr),
+    /// The node serving this address died mid-protocol (between suspicion
+    /// and the promotion of a backup). Retryable: reconfiguration promotes
+    /// a new primary, after which the address resolves again.
+    NodeUnavailable(Addr),
+    /// The region is blocked by an in-progress reconfiguration (the drain
+    /// barrier between suspicion and promotion). Retryable: the barrier
+    /// lifts within one reconfiguration.
+    Reconfiguring(RegionId),
     /// The coordinator's node was killed.
     CoordinatorDead,
     /// Explicit abort requested by the application.
@@ -60,8 +68,12 @@ pub enum TxError {
 }
 
 impl TxError {
-    /// Convenience predicate: is this a conflict-style abort that the
-    /// application would normally retry?
+    /// Convenience predicate: is this a conflict-style or availability-style
+    /// abort that the application would normally retry? Availability aborts
+    /// ([`AbortReason::NodeUnavailable`], [`AbortReason::Reconfiguring`],
+    /// [`AbortReason::RegionUnavailable`]) clear once the reconfiguration
+    /// promotes a new primary, so a bounded-backoff retry loop turns a
+    /// machine failure into nothing worse than latency.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -72,6 +84,9 @@ impl TxError {
                     | AbortReason::OldVersionUnavailable(_)
                     | AbortReason::EagerValidation(_)
                     | AbortReason::OldVersionMemoryExhausted
+                    | AbortReason::NodeUnavailable(_)
+                    | AbortReason::Reconfiguring(_)
+                    | AbortReason::RegionUnavailable(_)
             )
         )
     }
@@ -107,6 +122,11 @@ mod tests {
         assert!(TxError::Aborted(AbortReason::LockConflict(addr())).is_retryable());
         assert!(TxError::Aborted(AbortReason::ValidationFailed(addr())).is_retryable());
         assert!(TxError::Aborted(AbortReason::OldVersionUnavailable(addr())).is_retryable());
+        // Availability-class aborts retry: a failure shows up as latency.
+        assert!(TxError::Aborted(AbortReason::NodeUnavailable(addr())).is_retryable());
+        assert!(TxError::Aborted(AbortReason::Reconfiguring(RegionId(3))).is_retryable());
+        assert!(TxError::Aborted(AbortReason::RegionUnavailable(addr())).is_retryable());
+        assert!(!TxError::Aborted(AbortReason::CoordinatorDead).is_retryable());
         assert!(!TxError::Aborted(AbortReason::UserRequested).is_retryable());
         assert!(!TxError::InvalidOperation("x").is_retryable());
         assert!(!TxError::AllocationFailed.is_retryable());

@@ -59,7 +59,7 @@ pub use active::{ActiveToken, ActiveTxTable};
 pub use commit::{
     CommitDriver, CommitPhase, CommitPipeline, PipelinePool, PipelineTimings, PoolConfig, PoolStats,
 };
-pub use engine::{Engine, NodeEngine};
+pub use engine::{Engine, NodeEngine, RetryPolicy};
 pub use error::{AbortReason, TxError};
 pub use opts::{EngineConfig, EngineMode, IsolationLevel, MvPolicy, TxOptions};
 pub use readonly::ParallelQuery;

@@ -95,6 +95,20 @@ pub struct EngineStats {
     /// Bounded install-backlog chunks drained by idle pipeline-pool workers
     /// stealing stage-2 completion work.
     pub pipeline_steal_drains: AtomicU64,
+    // ---- Failure-recovery counters --------------------------------------
+    /// Decided (early-acked) transactions of a dead coordinator rolled
+    /// forward by survivors: their pending COMMIT-PRIMARY installs were
+    /// completed from the replicated state and their locks released.
+    pub orphans_rolled_forward: AtomicU64,
+    /// Undecided transactions unwound because their coordinator died before
+    /// the durability point (locks released, allocations rolled back).
+    pub orphans_rolled_back: AtomicU64,
+    /// Retryable aborts absorbed by [`crate::NodeEngine::run_transaction`]'s
+    /// bounded-backoff loop (the client observed latency, not a failure).
+    pub retries_absorbed: AtomicU64,
+    /// Re-replicated backups caught up from untruncated redo-log records
+    /// after their state copy (commits that raced the copy).
+    pub backups_caught_up: AtomicU64,
 }
 
 /// Point-in-time copy of [`EngineStats`].
@@ -164,6 +178,14 @@ pub struct EngineStatsSnapshot {
     pub pipeline_steals: u64,
     /// Install-backlog chunks drained by idle pipeline-pool workers.
     pub pipeline_steal_drains: u64,
+    /// Dead-coordinator transactions rolled forward by survivors.
+    pub orphans_rolled_forward: u64,
+    /// Undecided dead-coordinator transactions unwound.
+    pub orphans_rolled_back: u64,
+    /// Retryable aborts absorbed by the transparent retry wrapper.
+    pub retries_absorbed: u64,
+    /// Re-replicated backups caught up from redo logs.
+    pub backups_caught_up: u64,
 }
 
 impl EngineStats {
@@ -202,6 +224,10 @@ impl EngineStats {
             truncate_flushes: self.truncate_flushes.load(Ordering::Relaxed),
             pipeline_steals: self.pipeline_steals.load(Ordering::Relaxed),
             pipeline_steal_drains: self.pipeline_steal_drains.load(Ordering::Relaxed),
+            orphans_rolled_forward: self.orphans_rolled_forward.load(Ordering::Relaxed),
+            orphans_rolled_back: self.orphans_rolled_back.load(Ordering::Relaxed),
+            retries_absorbed: self.retries_absorbed.load(Ordering::Relaxed),
+            backups_caught_up: self.backups_caught_up.load(Ordering::Relaxed),
         }
     }
 
@@ -315,6 +341,10 @@ impl EngineStatsSnapshot {
             truncate_flushes: self.truncate_flushes - earlier.truncate_flushes,
             pipeline_steals: self.pipeline_steals - earlier.pipeline_steals,
             pipeline_steal_drains: self.pipeline_steal_drains - earlier.pipeline_steal_drains,
+            orphans_rolled_forward: self.orphans_rolled_forward - earlier.orphans_rolled_forward,
+            orphans_rolled_back: self.orphans_rolled_back - earlier.orphans_rolled_back,
+            retries_absorbed: self.retries_absorbed - earlier.retries_absorbed,
+            backups_caught_up: self.backups_caught_up - earlier.backups_caught_up,
         }
     }
 
@@ -355,6 +385,10 @@ impl EngineStatsSnapshot {
             truncate_flushes: self.truncate_flushes + other.truncate_flushes,
             pipeline_steals: self.pipeline_steals + other.pipeline_steals,
             pipeline_steal_drains: self.pipeline_steal_drains + other.pipeline_steal_drains,
+            orphans_rolled_forward: self.orphans_rolled_forward + other.orphans_rolled_forward,
+            orphans_rolled_back: self.orphans_rolled_back + other.orphans_rolled_back,
+            retries_absorbed: self.retries_absorbed + other.retries_absorbed,
+            backups_caught_up: self.backups_caught_up + other.backups_caught_up,
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Cluster assembly, lease-driven control loop, reconfiguration and clock
 //! failover.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,6 +29,13 @@ pub trait RecoveryHooks: Send + Sync {
     /// A new configuration was committed.
     fn on_config_committed(&self, config: &ConfigRecord) {
         let _ = config;
+    }
+
+    /// Background re-replication finished its state copy of `region` onto
+    /// `new_backup`; the engine should catch the new backup up from any
+    /// untruncated redo-log records (commits that raced the copy).
+    fn on_backup_rereplicated(&self, region: RegionId, new_backup: NodeId) {
+        let _ = (region, new_backup);
     }
 }
 
@@ -132,6 +140,12 @@ pub struct Cluster {
     faults: Arc<FaultPlane>,
     config_store: Arc<ConfigStore>,
     placement: RwLock<Placement>,
+    /// Regions currently draining for a reconfiguration: new transactions on
+    /// them are rejected (retryably) until promotions and log replays finish.
+    blocked_regions: RwLock<HashSet<RegionId>>,
+    /// O(1) emptiness check so the hot `is_region_blocked` path costs one
+    /// atomic load while no reconfiguration is running.
+    blocked_count: AtomicUsize,
     events: EventLog,
     hooks: RwLock<Arc<dyn RecoveryHooks>>,
     cm_lease: Mutex<CmLeaseState>,
@@ -200,6 +214,8 @@ impl Cluster {
             faults,
             config_store,
             placement: RwLock::new(placement),
+            blocked_regions: RwLock::new(HashSet::new()),
+            blocked_count: AtomicUsize::new(0),
             events: EventLog::new(),
             hooks: RwLock::new(Arc::new(NoHooks)),
             reconfig_lock: Mutex::new(()),
@@ -297,9 +313,53 @@ impl Cluster {
     /// Kills a machine: its process stops, its leases stop renewing, and the
     /// failure detector will eventually trigger reconfiguration. Returns
     /// immediately.
+    ///
+    /// The node handle's liveness flag flips under the fault plane's write
+    /// lock, so the two views can never diverge: any observer that sees the
+    /// node killed on the fault plane also sees
+    /// [`NodeHandle::is_alive`] report `false`.
     pub fn kill(&self, node: NodeId) {
-        self.faults.kill(node);
-        self.nodes[node.index()].mark_dead();
+        let handle = &self.nodes[node.index()];
+        self.faults.kill_with(node, || handle.mark_dead());
+    }
+
+    /// Whether `region` is currently blocked by an in-progress
+    /// reconfiguration (drain barrier). One atomic load when no
+    /// reconfiguration is running.
+    pub fn is_region_blocked(&self, region: RegionId) -> bool {
+        if self.blocked_count.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.blocked_regions.read().contains(&region)
+    }
+
+    /// Blocks new transactions on `regions` for the duration of a
+    /// reconfiguration.
+    fn block_regions(&self, regions: &[RegionId]) {
+        if regions.is_empty() {
+            return;
+        }
+        let mut blocked = self.blocked_regions.write();
+        for r in regions {
+            blocked.insert(*r);
+        }
+        self.blocked_count.store(blocked.len(), Ordering::Release);
+        self.events.record(EventKind::RegionsBlocked {
+            count: blocked.len(),
+        });
+    }
+
+    /// Lifts the drain barrier (all blocked regions at once: promotions and
+    /// their log replays have finished by the time this runs).
+    fn unblock_all_regions(&self) {
+        let mut blocked = self.blocked_regions.write();
+        if blocked.is_empty() {
+            return;
+        }
+        let count = blocked.len();
+        blocked.clear();
+        self.blocked_count.store(0, Ordering::Release);
+        self.events.record(EventKind::RegionsUnblocked { count });
     }
 
     /// Stops the control thread and any background re-replication.
@@ -338,8 +398,14 @@ impl Cluster {
                     Instant::now().duration_since(last[member.index()])
                 };
                 if elapsed > self.cfg.lease_expiry {
-                    self.initiate_reconfiguration(member, &[cm]);
-                    return;
+                    // Only cut the round short if the eviction actually
+                    // committed a new configuration; a declined attempt (a
+                    // partitioned minority member suspecting the CM it
+                    // cannot reach) must not starve the CM-side expiry
+                    // detection below.
+                    if self.initiate_reconfiguration(member, &[cm]) {
+                        return;
+                    }
                 }
             }
         }
@@ -433,12 +499,32 @@ impl Cluster {
 
     /// Initiates a reconfiguration removing `suspected` nodes, with
     /// `initiator` becoming the new CM if the old CM is among the removed.
-    pub fn initiate_reconfiguration(&self, initiator: NodeId, suspected: &[NodeId]) {
+    /// Returns whether a new configuration was committed — `false` when the
+    /// attempt was declined (no quorum, nothing failed, lost the CAS race,
+    /// or another reconfiguration already in progress).
+    pub fn initiate_reconfiguration(&self, initiator: NodeId, suspected: &[NodeId]) -> bool {
         let _guard = match self.reconfig_lock.try_lock() {
             Some(g) => g,
-            None => return, // another reconfiguration is already in progress
+            None => return false, // another reconfiguration is already in progress
         };
         let config = self.config_store.read();
+        // Precise membership: a new configuration can only be committed by a
+        // node that can reach a majority of the current one (the paper's
+        // reconfiguration protocol collects acks from a majority before the
+        // new configuration takes effect). Without this check, a
+        // minority-partitioned node — whose own lease exchanges with the CM
+        // are failing — would "suspect" the healthy majority and evict it.
+        let reachable = config
+            .members
+            .iter()
+            .filter(|&&m| {
+                m == initiator
+                    || (self.nodes[m.index()].is_alive() && self.faults.reachable(initiator, m))
+            })
+            .count();
+        if reachable * 2 <= config.members.len() {
+            return false;
+        }
         let mut failed: Vec<NodeId> = suspected
             .iter()
             .copied()
@@ -451,12 +537,38 @@ impl Cluster {
             }
         }
         if failed.is_empty() {
-            return;
+            return false;
         }
         for &f in &failed {
             self.events.record(EventKind::Suspected(f));
-            self.nodes[f.index()].mark_dead();
+            let handle = &self.nodes[f.index()];
+            self.faults.kill_with(f, || handle.mark_dead());
         }
+        // Drain barrier: block new transactions on every region the failed
+        // nodes participate in. The barrier lifts (via the guard, so every
+        // exit path unblocks) once promotions and their log replays are
+        // done; in-flight transactions against a dead primary abort
+        // retryably in the meantime.
+        let affected: Vec<RegionId> = {
+            let placement = self.placement.read();
+            placement
+                .regions()
+                .into_iter()
+                .filter(|r| {
+                    placement
+                        .assignment(*r)
+                        .is_some_and(|a| failed.iter().any(|f| a.involves(*f)))
+                })
+                .collect()
+        };
+        self.block_regions(&affected);
+        struct UnblockGuard<'a>(&'a Cluster);
+        impl Drop for UnblockGuard<'_> {
+            fn drop(&mut self) {
+                self.0.unblock_all_regions();
+            }
+        }
+        let unblock = UnblockGuard(self);
         let new_members: Vec<NodeId> = config
             .members
             .iter()
@@ -464,7 +576,7 @@ impl Cluster {
             .filter(|m| !failed.contains(m))
             .collect();
         if new_members.is_empty() {
-            return;
+            return false;
         }
         let cm_failed = failed.contains(&config.cm);
         let new_cm = if cm_failed { initiator } else { config.cm };
@@ -474,7 +586,7 @@ impl Cluster {
                 .compare_and_swap(config.epoch, new_members.clone(), new_cm)
             {
                 Ok(c) => c,
-                Err(_) => return, // lost the race; the winner handles recovery
+                Err(_) => return false, // lost the race; the winner handles recovery
             };
 
         if cm_failed {
@@ -520,7 +632,13 @@ impl Cluster {
             });
             self.hooks.read().on_region_promoted(*region, *new_primary);
         }
+        // Promotions (and their redo-log replays, run by the hook above) are
+        // complete: lift the drain barrier before the paced background
+        // re-replication starts, so availability is restored as soon as
+        // every affected region has a live primary again.
+        drop(unblock);
         self.spawn_rereplication(new_config);
+        true
     }
 
     /// The clock failover protocol of Figure 6, run by the new CM.
@@ -632,6 +750,7 @@ impl Cluster {
             return;
         }
         let placement_snapshot = self.placement.read().clone();
+        let hooks = Arc::clone(&*self.hooks.read());
         let handle = std::thread::Builder::new()
             .name("farm-rereplication".into())
             .spawn(move || {
@@ -644,6 +763,7 @@ impl Cluster {
                         let src = nodes[primary.index()].regions().ensure(region);
                         let dst = nodes[backup.index()].regions().ensure(region);
                         let slab_count = src.slab_count() as u16;
+                        let mut bytes_copied = 0usize;
                         for slab_idx in 0..slab_count {
                             if let Some(slab) = src.slab(slab_idx) {
                                 let dst_slab = dst.ensure_slab(slab_idx, slab.object_size());
@@ -653,15 +773,29 @@ impl Cluster {
                                     {
                                         let h = s.header_snapshot();
                                         if h.allocated {
-                                            d.initialize(h.ts, s.raw_data());
+                                            let data = s.raw_data();
+                                            bytes_copied += data.len() + 16;
+                                            d.initialize(h.ts, data);
                                         }
                                     }
                                 }
                             }
                         }
+                        // The copy travels as bulk one-sided writes from the
+                        // current primary to the new backup.
+                        if bytes_copied > 0 {
+                            nodes[primary.index()]
+                                .stats()
+                                .record(Verb::RdmaWrite, bytes_copied);
+                        }
                         // Bring the new backup's allocator metadata in line
                         // with the copied headers.
                         dst.rebuild_allocation_state();
+                        // Log catch-up: commits that early-acked against the
+                        // old replica set while the copy was running live
+                        // only in the untruncated redo logs — the engine
+                        // replays them onto the new backup.
+                        hooks.on_backup_rereplicated(region, backup);
                     }
                     events.record(EventKind::Rereplicated {
                         region,
@@ -876,6 +1010,51 @@ mod tests {
     }
 
     #[test]
+    fn reconfiguration_blocks_then_unblocks_affected_regions() {
+        let mut cfg = ClusterConfig::test(4);
+        cfg.lease_expiry = Duration::from_millis(1);
+        let cluster = Cluster::start(cfg);
+        cluster.kill(NodeId(1));
+        std::thread::sleep(Duration::from_millis(3));
+        for _ in 0..4 {
+            cluster.control_round();
+        }
+        // The barrier is transient: raised at suspicion, lifted after the
+        // promotions. Afterwards no region may remain blocked.
+        for region in cluster.regions() {
+            assert!(
+                !cluster.is_region_blocked(region),
+                "{region:?} still blocked after reconfiguration"
+            );
+        }
+        let events = cluster.events().snapshot();
+        let blocked_at = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RegionsBlocked { count } if count > 0))
+            .expect("drain barrier raised");
+        let unblocked_at = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RegionsUnblocked { count } if count > 0))
+            .expect("drain barrier lifted");
+        assert!(blocked_at < unblocked_at);
+        // The barrier lifts before re-replication completes (availability is
+        // restored at promotion time, not at full-redundancy time).
+        let promoted_at = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RegionPromoted { .. }))
+            .expect("promotion recorded");
+        assert!(promoted_at < unblocked_at);
+    }
+
+    #[test]
+    fn kill_is_atomic_across_fault_plane_and_node_handle() {
+        let cluster = Cluster::start(ClusterConfig::test(3));
+        cluster.kill(NodeId(2));
+        assert!(cluster.faults().is_killed(NodeId(2)));
+        assert!(!cluster.node(NodeId(2)).is_alive());
+    }
+
+    #[test]
     fn concurrent_reconfigurations_do_not_conflict() {
         let mut cfg = ClusterConfig::test(5);
         cfg.lease_expiry = Duration::from_millis(1);
@@ -890,5 +1069,27 @@ mod tests {
         assert!(!config.contains(NodeId(3)));
         assert!(!config.contains(NodeId(4)));
         assert!(config.members.len() == 3);
+    }
+
+    #[test]
+    fn minority_partitioned_node_cannot_evict_the_majority() {
+        let cluster = Cluster::start(ClusterConfig::test(5));
+        // Node 4 is cut off from everyone else. From its point of view the
+        // CM's lease has expired, so it tries to evict the CM — but it can
+        // only reach 1 of 5 members and must not commit a configuration.
+        cluster.faults().partition(vec![(NodeId(4), 1)]);
+        cluster.initiate_reconfiguration(NodeId(4), &[NodeId(0)]);
+        let config = cluster.current_config();
+        assert_eq!(config.epoch, 1, "minority node committed a configuration");
+        assert!(config.contains(NodeId(0)));
+        assert!(cluster.node(NodeId(0)).is_alive());
+        assert!(cluster.node(NodeId(4)).is_alive());
+        // The majority side, which can reach 4 of 5 members, evicts the
+        // partitioned node as usual.
+        cluster.initiate_reconfiguration(NodeId(0), &[NodeId(4)]);
+        let config = cluster.current_config();
+        assert_eq!(config.epoch, 2);
+        assert!(!config.contains(NodeId(4)));
+        assert!(!cluster.node(NodeId(4)).is_alive());
     }
 }

@@ -44,6 +44,38 @@ pub enum EventKind {
     },
     /// All regions affected by the last failure are back to full redundancy.
     RereplicationComplete,
+    /// New transactions on the regions of suspected nodes were blocked at
+    /// the start of a reconfiguration (the drain barrier).
+    RegionsBlocked {
+        /// How many regions were blocked.
+        count: usize,
+    },
+    /// The drain barrier was lifted: promotions (and their log replays)
+    /// finished and the affected regions accept transactions again.
+    RegionsUnblocked {
+        /// How many regions were unblocked.
+        count: usize,
+    },
+    /// Survivors resolved the in-flight transactions a dead coordinator left
+    /// behind: decided (early-acked) transactions were rolled forward from
+    /// the replicated redo logs and the coordinator's truncation watermark
+    /// was force-delivered.
+    OrphansRecovered {
+        /// The dead coordinator.
+        coordinator: NodeId,
+        /// Decided transactions rolled forward (locks released).
+        rolled_forward: usize,
+    },
+    /// A freshly re-replicated backup was caught up from the untruncated
+    /// redo logs (commits that raced the state copy).
+    LogCatchUp {
+        /// The affected region.
+        region: RegionId,
+        /// The new backup that was caught up.
+        new_backup: NodeId,
+        /// Redo-log intents replayed onto it.
+        intents: usize,
+    },
 }
 
 /// A timestamped event.

@@ -34,7 +34,19 @@ impl FaultPlane {
 
     /// Marks a node as crashed.
     pub fn kill(&self, node: NodeId) {
-        self.inner.write().killed.insert(node);
+        self.kill_with(node, || {});
+    }
+
+    /// Marks a node as crashed, running `also` under the same write lock
+    /// *before* the kill becomes visible. Side effects tied to the kill
+    /// (e.g. flipping a node handle's liveness flag) therefore publish no
+    /// later than the kill itself: any observer that sees
+    /// [`FaultPlane::is_killed`] or [`FaultPlane::reachable`] report the
+    /// crash is guaranteed to also see the side effect.
+    pub fn kill_with(&self, node: NodeId, also: impl FnOnce()) {
+        let mut st = self.inner.write();
+        also();
+        st.killed.insert(node);
     }
 
     /// Restarts a crashed node (it rejoins with empty state; the kernel
@@ -128,6 +140,69 @@ mod tests {
         f.partition(vec![(NodeId(5), 1)]);
         assert!(f.reachable(NodeId(0), NodeId(1)));
         assert!(!f.reachable(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn reachability_is_symmetric() {
+        let f = FaultPlane::new();
+        f.partition(vec![
+            (NodeId(0), 0),
+            (NodeId(1), 1),
+            (NodeId(2), 1),
+            (NodeId(3), 0),
+        ]);
+        f.kill(NodeId(3));
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    f.reachable(NodeId(a), NodeId(b)),
+                    f.reachable(NodeId(b), NodeId(a)),
+                    "reachability asymmetric between {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_then_heal_restores_full_connectivity() {
+        let f = FaultPlane::new();
+        f.partition(vec![(NodeId(0), 0), (NodeId(1), 1), (NodeId(2), 2)]);
+        assert!(!f.reachable(NodeId(0), NodeId(1)));
+        assert!(!f.reachable(NodeId(1), NodeId(2)));
+        f.heal();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert!(f.reachable(NodeId(a), NodeId(b)));
+            }
+        }
+        // Healing an already-healed plane is a no-op.
+        f.heal();
+        assert!(f.reachable(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn kill_overrides_partition() {
+        let f = FaultPlane::new();
+        f.partition(vec![(NodeId(0), 0), (NodeId(1), 0)]);
+        f.kill(NodeId(1));
+        // Same partition group, but the node is dead.
+        assert!(!f.reachable(NodeId(0), NodeId(1)));
+        // Healing the partition does not resurrect the node.
+        f.heal();
+        assert!(!f.reachable(NodeId(0), NodeId(1)));
+        assert!(f.is_killed(NodeId(1)));
+        f.revive(NodeId(1));
+        assert!(f.reachable(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn kill_with_side_effect_is_visible_with_the_kill() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let f = FaultPlane::new();
+        let flag = AtomicBool::new(false);
+        f.kill_with(NodeId(1), || flag.store(true, Ordering::Release));
+        assert!(f.is_killed(NodeId(1)));
+        assert!(flag.load(Ordering::Acquire));
     }
 
     #[test]
